@@ -1,0 +1,44 @@
+"""E5 — Section 3.2 / Conjecture 3.7: the simulation campaign benchmark."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.conjecture import run_conjecture_campaign
+from repro.equilibria.best_response import best_response_dynamics
+from repro.equilibria.enumeration import count_pure_nash, exists_pure_nash
+from repro.generators.games import random_game
+from repro.generators.suites import GridCell
+from repro.util.rng import stable_seed
+
+
+@pytest.mark.parametrize("n,m", [(4, 3), (6, 3), (8, 2)])
+def test_existence_decision(benchmark, n, m):
+    """Cost of deciding pure-NE existence exhaustively for one instance."""
+    game = random_game(n, m, seed=stable_seed("bench-e5", n, m))
+    assert benchmark(lambda: exists_pure_nash(game))
+
+
+@pytest.mark.parametrize("n,m", [(6, 3), (12, 4)])
+def test_brd_solver(benchmark, n, m):
+    """Cost of locating a pure NE by best-response dynamics."""
+    game = random_game(n, m, seed=stable_seed("bench-e5brd", n, m))
+    result = benchmark(
+        lambda: best_response_dynamics(game, seed=0, schedule="round_robin")
+    )
+    assert result.converged
+
+
+def test_e5_campaign(benchmark, report):
+    grid = [GridCell(n, m, 6) for (n, m) in [(2, 2), (3, 3), (4, 3), (5, 2)]]
+    campaign = benchmark.pedantic(
+        lambda: run_conjecture_campaign(grid, label="bench-e5c"),
+        rounds=1,
+        iterations=1,
+    )
+    assert campaign.conjecture_supported
+    report.append(
+        f"[E5] conjecture campaign: {campaign.total_instances} instances, "
+        f"{campaign.counterexamples} counterexamples"
+    )
+    report.append(campaign.to_table().render())

@@ -1,0 +1,36 @@
+"""Extension benchmark: value-of-information studies.
+
+Not a paper table — this measures the cost of the library's added
+information analysis (S30) so users can size their own studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.information import run_information_study
+from repro.model.beliefs import Belief
+from repro.model.state import StateSpace
+
+
+def test_information_study(benchmark, report):
+    regimes = StateSpace([[20.0, 1.0], [1.0, 20.0]])
+    truth = np.array([0.9, 0.1])
+    policies = {
+        "informed": Belief(truth),
+        "agnostic": Belief([0.5, 0.5]),
+        "adversarial": Belief([0.05, 0.95]),
+    }
+    study = benchmark.pedantic(
+        lambda: run_information_study(
+            regimes, truth, policies, rounds=30, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert study.rounds == 30
+    ordered = sorted(study.mean_latency.items(), key=lambda kv: kv[1])
+    report.append(
+        "[info] mean objective latency by policy: "
+        + ", ".join(f"{k}={v:.3f}" for k, v in ordered)
+    )

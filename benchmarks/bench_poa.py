@@ -1,0 +1,66 @@
+"""E10/E11 — Theorems 4.13/4.14: price-of-anarchy bound benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.poa import (
+    empirical_coordination_ratios,
+    poa_bound_general,
+    poa_bound_uniform,
+    poa_study,
+)
+from repro.generators.games import random_game, random_uniform_beliefs_game
+from repro.generators.suites import GridCell
+from repro.util.rng import stable_seed
+from repro.util.tables import Table
+
+
+def test_empirical_ratio_computation(benchmark):
+    game = random_game(4, 2, seed=stable_seed("bench-e11", "one"))
+    r1, r2 = benchmark.pedantic(
+        lambda: empirical_coordination_ratios(game), rounds=2, iterations=1
+    )
+    assert r1 >= 1.0 - 1e-9 and r2 >= 1.0 - 1e-9
+
+
+@pytest.mark.parametrize("uniform", [True, False], ids=["E10-uniform", "E11-general"])
+def test_poa_study_cell(benchmark, uniform):
+    grid = [GridCell(3, 2, 4)]
+    obs = benchmark.pedantic(
+        lambda: poa_study(grid, uniform_beliefs=uniform, label="bench-poa"),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(o.bound_holds() for o in obs)
+
+
+def test_e10_e11_series(benchmark, report):
+    grid = [GridCell(n, m, 5) for (n, m) in [(3, 2), (4, 3), (5, 2)]]
+
+    def run():
+        uni = poa_study(grid, uniform_beliefs=True, label="bench-e10s")
+        gen = poa_study(grid, uniform_beliefs=False, label="bench-e11s")
+        return uni, gen
+
+    uni, gen = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(o.bound_holds() for o in uni + gen)
+    for label, obs in (("E10 (Thm 4.13, uniform)", uni), ("E11 (Thm 4.14, general)", gen)):
+        table = Table(
+            ["n", "m", "worst SC1/OPT1", "worst SC2/OPT2", "min bound"],
+            title=f"[{label}] empirical ratio vs bound",
+        )
+        cells: dict = {}
+        for o in obs:
+            cells.setdefault((o.num_users, o.num_links), []).append(o)
+        for (n, m), group in sorted(cells.items()):
+            table.add_row(
+                [
+                    n,
+                    m,
+                    max(o.ratio_sc1 for o in group),
+                    max(o.ratio_sc2 for o in group),
+                    min(o.bound for o in group),
+                ]
+            )
+        report.append(table.render())

@@ -1,0 +1,40 @@
+"""E4 — Section 3.1: three-user existence and best-response acyclicity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.equilibria.enumeration import count_pure_nash
+from repro.equilibria.game_graph import best_response_graph, find_response_cycle
+from repro.generators.games import random_game
+from repro.util.rng import stable_seed
+
+
+@pytest.mark.parametrize("m", [2, 3, 4])
+def test_three_user_existence_check(benchmark, m):
+    game = random_game(3, m, seed=stable_seed("bench-e4", m))
+    count = benchmark(lambda: count_pure_nash(game))
+    assert count >= 1
+
+
+def test_best_response_graph_build(benchmark):
+    game = random_game(3, 4, seed=stable_seed("bench-e4", "graph"))
+    graph = benchmark(lambda: best_response_graph(game))
+    assert find_response_cycle(graph) is None
+
+
+def test_e4_series(benchmark, report):
+    def run():
+        with_pne = cycles = 0
+        for rep in range(20):
+            game = random_game(3, 3, seed=stable_seed("bench-e4s", rep))
+            if count_pure_nash(game) > 0:
+                with_pne += 1
+            if find_response_cycle(best_response_graph(game)) is not None:
+                cycles += 1
+        return with_pne, cycles
+    with_pne, cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert with_pne == 20 and cycles == 0
+    report.append(
+        "[E4] n=3: 20/20 instances possess a pure NE; 0 best-response cycles"
+    )

@@ -1,0 +1,34 @@
+"""E3 — Figure 3 / Theorem 3.6: ``Auniform`` benchmark."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.equilibria.conditions import is_pure_nash
+from repro.equilibria.uniform import auniform
+from repro.generators.games import random_uniform_beliefs_game
+from repro.util.rng import stable_seed
+
+
+@pytest.mark.parametrize("n", [64, 512, 4096, 16384])
+def test_auniform_scaling(benchmark, n):
+    game = random_uniform_beliefs_game(
+        n, 8, with_initial_traffic=True, seed=stable_seed("bench-e3", n)
+    )
+    profile = benchmark(lambda: auniform(game))
+    assert is_pure_nash(game, profile)
+
+
+def test_e3_correctness_series(benchmark, report):
+    def run():
+        ok = 0
+        for n, m in ((4, 2), (32, 5), (256, 8), (1024, 16)):
+            game = random_uniform_beliefs_game(
+                n, m, with_initial_traffic=True, seed=stable_seed("bench-e3s", n, m)
+            )
+            if is_pure_nash(game, auniform(game)):
+                ok += 1
+        return ok
+    ok = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert ok == 4
+    report.append("[E3] Auniform: 4/4 (n, m) cells returned verified pure NE")

@@ -1,0 +1,35 @@
+"""E9 — Lemma 4.9 / Theorems 4.11-4.12: FMNE dominance benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.worst_case import verify_fmne_dominance
+from repro.generators.games import random_game
+from repro.util.rng import stable_seed
+
+
+@pytest.mark.parametrize("n,m", [(2, 2), (3, 2), (3, 3)])
+def test_dominance_verification(benchmark, n, m):
+    game = random_game(n, m, seed=stable_seed("bench-e9", n, m))
+    report = benchmark.pedantic(
+        lambda: verify_fmne_dominance(game), rounds=2, iterations=1
+    )
+    assert report.holds
+
+
+def test_e9_series(benchmark, report):
+    def run():
+        eqs = violations = 0
+        for rep in range(8):
+            game = random_game(3, 2, seed=stable_seed("bench-e9s", rep))
+            result = verify_fmne_dominance(game)
+            eqs += len(result.equilibria)
+            violations += len(result.violations)
+        return eqs, violations
+    eqs, violations = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert violations == 0
+    report.append(
+        f"[E9] dominance: {eqs} equilibria across 8 instances, "
+        f"{violations} per-user dominance violations"
+    )

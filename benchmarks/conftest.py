@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Each ``bench_*.py`` module regenerates one experiment row of DESIGN.md's
+index (E1-E12). Benchmarks measure the core computation with
+pytest-benchmark; the series the paper's claims imply (correctness
+verdicts, ratios vs bounds, scaling exponents) are printed once per
+session by the reporting fixtures so that
+``pytest benchmarks/ --benchmark-only -s`` emits the EXPERIMENTS.md rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collect human-readable harness lines and print them at the end."""
+    lines: list[str] = []
+    yield lines
+    if lines:
+        print("\n" + "\n".join(lines))

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""ISP scenario: what does bad information cost a selfish user?
+
+The paper motivates belief-based capacity uncertainty with networks whose
+links are "complex paths created by routers, constructed differently on
+separate occasions according to the presence of congestion or link
+failures". This example builds such a network — three links, three
+congestion regimes — and measures how a user's *information quality*
+affects the latency it experiences at equilibrium.
+
+We compare, over many random draws of the true state:
+
+* an **informed** user whose belief matches the regime frequencies;
+* a **stale** user who believes yesterday's (wrong) regime;
+* an **agnostic** user with the uniform belief.
+
+Each shares the network with the same background population. We solve the
+subjective game and report the *objective* latency (under the true state
+distribution) of each user type at its chosen link.
+
+Run:  python examples/isp_uncertainty.py
+"""
+
+import numpy as np
+
+from repro import BeliefProfile, StateSpace, UncertainRoutingGame, solve_pure_nash
+from repro.model.beliefs import Belief
+from repro.util.tables import Table
+
+# Three regimes: calm, evening peak, link-2 failure.
+REGIMES = StateSpace(
+    [
+        [10.0, 8.0, 6.0],  # calm
+        [4.0, 5.0, 6.0],   # evening peak: links 0/1 congested
+        [10.0, 8.0, 0.5],  # failover: link 2 nearly dead
+    ],
+    names=("calm", "peak", "failover"),
+)
+TRUE_FREQUENCIES = np.array([0.5, 0.35, 0.15])
+
+
+def objective_latency(game: UncertainRoutingGame, sigma, user: int) -> float:
+    """Expected latency of *user* under the TRUE regime frequencies."""
+    from repro.model.profiles import loads_of
+
+    link = int(sigma.links[user])
+    loads = loads_of(sigma.links, game.weights, game.num_links)
+    inv = TRUE_FREQUENCIES @ (1.0 / REGIMES.capacities[:, link])
+    return float(loads[link] * inv)
+
+
+def build_game(focal_belief: Belief, rng: np.random.Generator) -> UncertainRoutingGame:
+    """Focal user plus five background users with noisy-but-decent beliefs."""
+    rows = [focal_belief.probabilities]
+    for _ in range(5):
+        noise = rng.dirichlet(TRUE_FREQUENCIES * 25.0)
+        rows.append(noise)
+    beliefs = BeliefProfile.from_matrix(REGIMES, np.array(rows))
+    weights = np.concatenate([[1.0], rng.uniform(0.5, 2.0, size=5)])
+    return UncertainRoutingGame(weights, beliefs)
+
+
+def main() -> None:
+    rng = np.random.default_rng(2006)
+    informed = Belief(TRUE_FREQUENCIES)
+    stale = Belief([0.05, 0.05, 0.9])     # convinced the failover persists
+    agnostic = Belief([1 / 3, 1 / 3, 1 / 3])
+
+    totals = {"informed": 0.0, "stale": 0.0, "agnostic": 0.0}
+    rounds = 200
+    for _ in range(rounds):
+        round_seed = int(rng.integers(2**62))
+        for label, belief in (
+            ("informed", informed), ("stale", stale), ("agnostic", agnostic)
+        ):
+            # Same background population per round: only the focal belief
+            # differs, so the comparison isolates information quality.
+            game = build_game(belief, np.random.default_rng(round_seed))
+            profile, _ = solve_pure_nash(game, seed=0)
+            totals[label] += objective_latency(game, profile, user=0)
+
+    table = Table(
+        ["user type", "mean objective latency"],
+        title=f"Information quality vs experienced latency ({rounds} rounds)",
+    )
+    for label in ("informed", "agnostic", "stale"):
+        table.add_row([label, totals[label] / rounds])
+    print(table.render())
+    print(
+        "\nThe informed user routes against the regimes that actually "
+        "occur; the stale user systematically avoids a healthy link. "
+        "Information quality is worth real latency in this model."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""KP-model vs uncertainty: how beliefs reshape equilibria.
+
+The uncertain-routing game strictly generalises the KP-model: point-mass
+common beliefs recover it exactly. This example takes one physical
+network and sweeps the *confidence* of users' beliefs from fully informed
+(KP) to fully uncertain, tracking:
+
+* which equilibrium the dispatcher finds;
+* its subjective social costs SC1/SC2;
+* the classic objective expected-max-congestion of the same assignment
+  (computable because the physical network is fixed).
+
+Run:  python examples/kp_vs_uncertain.py
+"""
+
+import numpy as np
+
+from repro import (
+    BeliefProfile,
+    StateSpace,
+    UncertainRoutingGame,
+    sc1,
+    sc2,
+    solve_pure_nash,
+)
+from repro.model.profiles import loads_of
+from repro.util.tables import Table
+
+TRUE_STATE = 0  # the state that actually holds
+
+
+def objective_max_congestion(game, sigma, states: StateSpace) -> float:
+    loads = loads_of(sigma.links, game.weights, game.num_links)
+    return float((loads / states.capacities[TRUE_STATE]).max())
+
+
+def main() -> None:
+    states = StateSpace(
+        [
+            [6.0, 3.0, 1.0],   # truth: link 0 fastest
+            [1.0, 3.0, 6.0],   # mirage: link 2 fastest
+        ],
+        names=("truth", "mirage"),
+    )
+    weights = np.array([3.0, 2.0, 2.0, 1.0, 1.0])
+    n = weights.size
+
+    table = Table(
+        ["P(truth)", "method", "equilibrium", "SC1", "SC2",
+         "objective max congestion"],
+        title="Belief confidence sweep: informed -> misled",
+    )
+    for p_truth in (1.0, 0.9, 0.7, 0.5, 0.3, 0.1, 0.0):
+        belief_matrix = np.tile([p_truth, 1.0 - p_truth], (n, 1))
+        beliefs = BeliefProfile.from_matrix(states, belief_matrix)
+        game = UncertainRoutingGame(weights, beliefs)
+        profile, method = solve_pure_nash(game, seed=0)
+        table.add_row(
+            [
+                p_truth,
+                method,
+                str(profile.as_tuple()),
+                sc1(game, profile),
+                sc2(game, profile),
+                objective_max_congestion(game, profile, states),
+            ]
+        )
+    print(table.render())
+    print(
+        "\nAt P(truth)=1 the game IS the KP-model and users exploit the "
+        "fast link; as belief mass shifts to the mirage state the "
+        "subjective equilibrium migrates toward the slow link and the "
+        "objective congestion of the induced assignment degrades."
+    )
+
+
+if __name__ == "__main__":
+    main()

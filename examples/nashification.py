@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Nashification: repairing arbitrary routings into equilibria.
+
+Feldmann et al. (cited as [4] in the paper) showed that in the KP-model
+any profile can be turned into a pure Nash equilibrium without increasing
+the maximum congestion. This example demonstrates:
+
+1. the guarantee holding on complete-information (common-beliefs) games;
+2. what survives under belief uncertainty — the library's general
+   `nashify` still reaches an equilibrium, but the objective congestion
+   guarantee can fail because users repair *subjective* grievances.
+
+Run:  python examples/nashification.py
+"""
+
+import numpy as np
+
+from repro.equilibria.nashify import nashify, nashify_common_beliefs
+from repro.generators.games import random_game, random_kp_game
+from repro.util.rng import as_generator
+from repro.util.tables import Table
+
+
+def main() -> None:
+    rng = as_generator(7)
+
+    table = Table(
+        ["instance", "steps", "max congestion before", "after", "preserved"],
+        title="Common beliefs (KP): nashify never worsens max congestion",
+    )
+    for rep in range(6):
+        game = random_kp_game(8, 3, seed=rep)
+        start = rng.integers(0, 3, size=8)
+        result = nashify_common_beliefs(game, start)
+        table.add_row(
+            [
+                f"kp-{rep}",
+                result.steps,
+                result.max_congestion_before,
+                result.max_congestion_after,
+                "yes" if result.preserved_max_congestion else "NO",
+            ]
+        )
+    print(table.render())
+
+    table2 = Table(
+        ["instance", "steps", "SC1 before", "SC1 after", "mean-cap congestion "
+         "before", "after"],
+        title="\nDistinct beliefs: equilibrium reached, guarantee not a theorem",
+    )
+    for rep in range(6):
+        game = random_game(8, 3, seed=100 + rep)
+        start = rng.integers(0, 3, size=8)
+        result = nashify(game, start)
+        table2.add_row(
+            [
+                f"unc-{rep}",
+                result.steps,
+                result.sc1_before,
+                result.sc1_after,
+                result.max_congestion_before,
+                result.max_congestion_after,
+            ]
+        )
+    print(table2.render())
+    print(
+        "\nUnder uncertainty users repair subjective regret; the observer's "
+        "congestion usually improves too, but nothing forces it to — the "
+        "price of private information extends to repair dynamics."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""The Conjecture 3.7 simulation campaign (Section 3.2 / experiment E5).
+
+The paper reports that "simulations ran on numerous instances of the game
+(dealing with small number of users and links) suggest the existence of
+pure NE". This module rebuilds that campaign at scale and with decidable
+outcomes: every sampled instance is checked *exhaustively* (the grid keeps
+``m^n`` small), so a single negative cell would be an actual
+counterexample to Conjecture 3.7, not a convergence failure.
+
+The campaign also records how pure NE are found in practice (how many
+best-response steps a round-robin dynamic needs), which substantiates the
+library's use of dynamics as the general-case solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.model.game import UncertainRoutingGame
+from repro.equilibria.best_response import best_response_dynamics
+from repro.equilibria.enumeration import count_pure_nash
+from repro.generators.games import random_game
+from repro.generators.suites import GridCell, conjecture_grid
+from repro.util.rng import stable_seed
+from repro.util.tables import Table
+
+__all__ = ["CellResult", "CampaignResult", "run_conjecture_campaign"]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Aggregated outcome for one (n, m) grid cell."""
+
+    num_users: int
+    num_links: int
+    instances: int
+    with_pure_nash: int
+    min_equilibria: int
+    max_equilibria: int
+    mean_equilibria: float
+    mean_brd_steps: float
+    brd_always_converged: bool
+
+    @property
+    def all_have_pure_nash(self) -> bool:
+        return self.with_pure_nash == self.instances
+
+
+@dataclass
+class CampaignResult:
+    """Full campaign outcome with table rendering."""
+
+    cells: list[CellResult] = field(default_factory=list)
+
+    @property
+    def total_instances(self) -> int:
+        return sum(c.instances for c in self.cells)
+
+    @property
+    def counterexamples(self) -> int:
+        return sum(c.instances - c.with_pure_nash for c in self.cells)
+
+    @property
+    def conjecture_supported(self) -> bool:
+        return self.counterexamples == 0
+
+    def to_table(self) -> Table:
+        table = Table(
+            [
+                "n", "m", "instances", "PNE found", "min#NE", "max#NE",
+                "mean#NE", "mean BRD steps", "BRD converged",
+            ],
+            title="E5 — Conjecture 3.7 campaign (pure NE existence)",
+        )
+        for c in self.cells:
+            table.add_row(
+                [
+                    c.num_users, c.num_links, c.instances, c.with_pure_nash,
+                    c.min_equilibria, c.max_equilibria, c.mean_equilibria,
+                    c.mean_brd_steps, "yes" if c.brd_always_converged else "NO",
+                ]
+            )
+        return table
+
+
+def _examine_instance(game: UncertainRoutingGame, seed: int) -> tuple[int, int, bool]:
+    """(number of pure NE, BRD steps, BRD converged) for one instance."""
+    count = count_pure_nash(game)
+    result = best_response_dynamics(
+        game, schedule="round_robin", max_steps=50_000, seed=seed
+    )
+    return count, result.steps, result.converged
+
+
+def run_conjecture_campaign(
+    grid: Sequence[GridCell] | None = None,
+    *,
+    concentration: float = 1.0,
+    num_states: int = 4,
+    label: str = "E5",
+) -> CampaignResult:
+    """Run the campaign over *grid* (default: the published E5 grid)."""
+    cells = list(grid) if grid is not None else list(conjecture_grid())
+    outcome = CampaignResult()
+    for cell in cells:
+        counts: list[int] = []
+        steps: list[int] = []
+        converged_all = True
+        for rep in range(cell.replications):
+            seed = stable_seed(label, cell.num_users, cell.num_links, rep)
+            game = random_game(
+                cell.num_users,
+                cell.num_links,
+                num_states=num_states,
+                concentration=concentration,
+                seed=seed,
+            )
+            count, brd_steps, converged = _examine_instance(game, seed)
+            counts.append(count)
+            steps.append(brd_steps)
+            converged_all = converged_all and converged
+        outcome.cells.append(
+            CellResult(
+                num_users=cell.num_users,
+                num_links=cell.num_links,
+                instances=cell.replications,
+                with_pure_nash=sum(1 for c in counts if c > 0),
+                min_equilibria=min(counts),
+                max_equilibria=max(counts),
+                mean_equilibria=sum(counts) / len(counts),
+                mean_brd_steps=sum(steps) / len(steps),
+                brd_always_converged=converged_all,
+            )
+        )
+    return outcome

@@ -1,0 +1,161 @@
+"""Price of anarchy: the paper's upper bounds and empirical ratios.
+
+Theorem 4.13 (uniform user beliefs) bounds both coordination ratios by
+
+    (cmax / cmin) * (m + n - 1) / m,
+
+and Theorem 4.14 (general case) by
+
+    (cmax^2 / cmin) * (m + n - 1) / sum_j c^j_min,
+
+with ``cmax``/``cmin`` extremes of the effective capacities over all
+(user, link) pairs and ``c^j_min = min_i c^j_i``. Experiments E10/E11
+sweep random games, compute the *exact* worst equilibrium ratio (over all
+Nash equilibria found by enumeration, plus the fully mixed one when it
+exists), and verify the bounds dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.model.game import UncertainRoutingGame
+from repro.model.profiles import MixedProfile, PureProfile, pure_to_mixed
+from repro.model.social import individual_costs, opt1, opt2
+from repro.equilibria.enumeration import pure_nash_profiles
+from repro.equilibria.fully_mixed import fully_mixed_candidate
+from repro.generators.games import random_game, random_uniform_beliefs_game
+from repro.generators.suites import GridCell
+from repro.util.rng import stable_seed
+
+__all__ = [
+    "poa_bound_uniform",
+    "poa_bound_general",
+    "empirical_coordination_ratios",
+    "PoAObservation",
+    "poa_study",
+]
+
+
+def poa_bound_uniform(game: UncertainRoutingGame) -> float:
+    """Theorem 4.13's upper bound (valid under uniform user beliefs)."""
+    caps = game.capacities
+    n, m = game.num_users, game.num_links
+    return float(caps.max() / caps.min()) * (m + n - 1) / m
+
+
+def poa_bound_general(game: UncertainRoutingGame) -> float:
+    """Theorem 4.14's upper bound (valid for every game)."""
+    caps = game.capacities
+    n, m = game.num_users, game.num_links
+    cmax = float(caps.max())
+    cmin = float(caps.min())
+    col_min_sum = float(caps.min(axis=0).sum())
+    return (cmax**2 / cmin) * (m + n - 1) / col_min_sum
+
+
+def empirical_coordination_ratios(
+    game: UncertainRoutingGame,
+    equilibria: Iterable[PureProfile | MixedProfile] | None = None,
+) -> tuple[float, float]:
+    """Worst ``(SC1/OPT1, SC2/OPT2)`` over the supplied equilibria.
+
+    When *equilibria* is omitted, all pure NE (exhaustive) are used and
+    the fully mixed NE is appended when it exists — per Theorems 4.11/4.12
+    the fully mixed point is the maximiser, so including it makes the
+    empirical ratio the true worst case whenever it exists.
+    """
+    if equilibria is None:
+        eqs: list[PureProfile | MixedProfile] = list(pure_nash_profiles(game))
+        fm = fully_mixed_candidate(game)
+        if fm.exists:
+            eqs.append(fm.profile())
+    else:
+        eqs = list(equilibria)
+    if not eqs:
+        raise ValueError("no equilibria supplied or found")
+    o1, o2 = opt1(game), opt2(game)
+    worst1 = worst2 = 0.0
+    for eq in eqs:
+        profile = (
+            eq if isinstance(eq, MixedProfile) else pure_to_mixed(
+                eq, game.num_users, game.num_links
+            )
+        )
+        costs = individual_costs(game, profile)
+        worst1 = max(worst1, float(costs.sum()) / o1)
+        worst2 = max(worst2, float(costs.max()) / o2)
+    return worst1, worst2
+
+
+@dataclass(frozen=True)
+class PoAObservation:
+    """One instance's empirical ratios against the theorem bound."""
+
+    num_users: int
+    num_links: int
+    ratio_sc1: float
+    ratio_sc2: float
+    bound: float
+    num_equilibria: int
+
+    @property
+    def slack_sc1(self) -> float:
+        """bound / ratio — how loose the theorem is on this instance."""
+        return self.bound / self.ratio_sc1
+
+    @property
+    def slack_sc2(self) -> float:
+        return self.bound / self.ratio_sc2
+
+    def bound_holds(self) -> bool:
+        return self.ratio_sc1 <= self.bound * (1 + 1e-9) and self.ratio_sc2 <= self.bound * (
+            1 + 1e-9
+        )
+
+
+def poa_study(
+    grid: Sequence[GridCell],
+    *,
+    uniform_beliefs: bool,
+    label: str = "poa",
+) -> list[PoAObservation]:
+    """Sweep random games and record empirical ratio vs theorem bound.
+
+    With ``uniform_beliefs=True`` instances come from the uniform-beliefs
+    generator and the Theorem 4.13 bound applies; otherwise general games
+    and Theorem 4.14.
+    """
+    observations: list[PoAObservation] = []
+    for cell in grid:
+        for rep in range(cell.replications):
+            seed = stable_seed(label, cell.num_users, cell.num_links, rep)
+            if uniform_beliefs:
+                game = random_uniform_beliefs_game(
+                    cell.num_users, cell.num_links, seed=seed
+                )
+                bound = poa_bound_uniform(game)
+            else:
+                game = random_game(cell.num_users, cell.num_links, seed=seed)
+                bound = poa_bound_general(game)
+            eqs: list[PureProfile | MixedProfile] = list(pure_nash_profiles(game))
+            fm = fully_mixed_candidate(game)
+            if fm.exists:
+                eqs.append(fm.profile())
+            if not eqs:  # pragma: no cover - would refute Conjecture 3.7
+                continue
+            r1, r2 = empirical_coordination_ratios(game, eqs)
+            observations.append(
+                PoAObservation(
+                    num_users=cell.num_users,
+                    num_links=cell.num_links,
+                    ratio_sc1=r1,
+                    ratio_sc2=r2,
+                    bound=bound,
+                    num_equilibria=len(eqs),
+                )
+            )
+    return observations

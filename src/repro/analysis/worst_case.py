@@ -1,0 +1,100 @@
+"""Worst-case equilibrium analysis (Lemma 4.9, Theorems 4.11/4.12).
+
+The paper's strongest Section 4 result is *per-user dominance*: for every
+Nash equilibrium ``P`` and every user ``i``,
+
+    lambda_{i, b_i}(P)  <=  lambda_{i, b_i}(F)
+
+where ``F`` is the fully mixed NE (or, by Corollary 4.10, the closed-form
+pseudo-profile of Remark 4.4 when no fully mixed NE exists). Summing or
+maximising over users yields that ``F`` maximises SC1 and SC2.
+
+:func:`verify_fmne_dominance` makes the claim checkable on an instance:
+it enumerates *all* equilibria of a small game (support enumeration) and
+compares each user's latency against the fully mixed value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.game import UncertainRoutingGame
+from repro.model.latency import min_expected_latencies
+from repro.model.profiles import MixedProfile
+from repro.model.social import sc1, sc2
+from repro.equilibria.fully_mixed import fully_mixed_candidate
+from repro.equilibria.support_enum import enumerate_mixed_nash
+
+__all__ = ["DominanceReport", "verify_fmne_dominance", "fmne_reference_latencies"]
+
+
+def fmne_reference_latencies(game: UncertainRoutingGame) -> np.ndarray:
+    """The per-user latencies of the fully mixed candidate.
+
+    Lemma 4.1's closed form — valid as the dominance reference even when
+    the candidate leaves the simplex (Corollary 4.10).
+    """
+    return fully_mixed_candidate(game).latencies
+
+
+@dataclass
+class DominanceReport:
+    """Outcome of a per-instance FMNE-dominance verification."""
+
+    game: UncertainRoutingGame
+    fmne_exists: bool
+    reference_latencies: np.ndarray
+    equilibria: list[MixedProfile] = field(default_factory=list)
+    violations: list[tuple[int, int, float]] = field(default_factory=list)
+    """(equilibrium index, user, excess) triples where dominance failed."""
+
+    @property
+    def holds(self) -> bool:
+        return not self.violations
+
+    @property
+    def sc1_values(self) -> list[float]:
+        return [sc1(self.game, eq) for eq in self.equilibria]
+
+    @property
+    def sc2_values(self) -> list[float]:
+        return [sc2(self.game, eq) for eq in self.equilibria]
+
+    def fmne_sc1(self) -> float:
+        """SC1 at the reference (sum of Lemma 4.1 latencies)."""
+        return float(self.reference_latencies.sum())
+
+    def fmne_sc2(self) -> float:
+        """SC2 at the reference (max of Lemma 4.1 latencies)."""
+        return float(self.reference_latencies.max())
+
+
+def verify_fmne_dominance(
+    game: UncertainRoutingGame, *, rtol: float = 1e-7
+) -> DominanceReport:
+    """Check Lemma 4.9 against every equilibrium of a small game.
+
+    Enumerates all Nash equilibria by support enumeration, then asserts
+    per-user dominance by the fully mixed reference latencies. Any
+    violation is recorded with its magnitude; an empty ``violations`` list
+    verifies Lemma 4.9 (and hence Theorems 4.11/4.12) on the instance.
+    """
+    candidate = fully_mixed_candidate(game)
+    reference = candidate.latencies
+    equilibria = enumerate_mixed_nash(game)
+    report = DominanceReport(
+        game=game,
+        fmne_exists=candidate.exists,
+        reference_latencies=reference,
+        equilibria=equilibria,
+    )
+    for idx, eq in enumerate(equilibria):
+        lat = min_expected_latencies(game, eq)
+        excess = lat - reference
+        scale = np.maximum(np.abs(reference), 1.0)
+        bad = np.flatnonzero(excess > rtol * scale)
+        for user in bad:
+            report.violations.append((idx, int(user), float(excess[user])))
+    return report

@@ -1,0 +1,115 @@
+"""Command-line interface: ``python -m repro`` / ``repro-experiments``.
+
+Subcommands:
+
+* ``list``               — show the experiment registry;
+* ``run E5 [E7 ...]``    — run experiments by id (``all`` for everything);
+* ``--quick``            — reduced replication counts for smoke runs.
+
+Output is the same ASCII tables EXPERIMENTS.md records, plus an overall
+verdict; the process exit code is non-zero when any experiment fails,
+making the CLI usable as a reproduction gate in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduction harness for 'Network Uncertainty in Selfish "
+            "Routing' (IPPS 2006)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the experiment registry")
+
+    run_p = sub.add_parser("run", help="run experiments by id")
+    run_p.add_argument(
+        "ids",
+        nargs="+",
+        help="experiment ids (E1..E12) or 'all'",
+    )
+    run_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced replication counts (smoke mode)",
+    )
+
+    report_p = sub.add_parser(
+        "report", help="run all experiments and write EXPERIMENTS.md"
+    )
+    report_p.add_argument(
+        "-o", "--output", default="EXPERIMENTS.md", help="output markdown path"
+    )
+    report_p.add_argument(
+        "--quick", action="store_true", help="reduced replication counts"
+    )
+    report_p.add_argument(
+        "--ids", nargs="*", default=None, help="subset of experiment ids"
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for key, (title, _) in EXPERIMENTS.items():
+        print(f"{key.ljust(width)}  {title}")
+    return 0
+
+
+def _cmd_run(ids: Sequence[str], quick: bool) -> int:
+    if any(x.lower() == "all" for x in ids):
+        ids = list(EXPERIMENTS)
+    failures = 0
+    for experiment_id in ids:
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, quick=quick)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"(elapsed: {elapsed:.2f}s)\n")
+        if not result.passed:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) FAILED", file=sys.stderr)
+        return 1
+    print("all experiments passed")
+    return 0
+
+
+def _cmd_report(output: str, quick: bool, ids: Sequence[str] | None) -> int:
+    from repro.experiments.report import render_markdown, run_all
+
+    run = run_all(quick=quick, ids=ids)
+    text = render_markdown(run, quick=quick)
+    with open(output, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    print(f"wrote {output} ({len(run.results)} experiments, "
+          f"{'all passed' if run.all_passed else 'FAILURES PRESENT'})")
+    return 0 if run.all_passed else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.ids, args.quick)
+    if args.command == "report":
+        return _cmd_report(args.output, args.quick, args.ids)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

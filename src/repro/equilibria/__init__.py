@@ -1,0 +1,97 @@
+"""Equilibrium computation: Nash conditions, the paper's algorithms,
+best-response dynamics, enumeration, fully mixed equilibria, game graphs
+and potential-function analysis."""
+
+from repro.equilibria.approximate import (
+    best_epsilon_pure,
+    epsilon_mixed,
+    epsilon_pure,
+    rounded_fully_mixed,
+)
+from repro.equilibria.best_response import (
+    DynamicsResult,
+    best_response_dynamics,
+    best_responses,
+    better_response_dynamics,
+)
+from repro.equilibria.conditions import (
+    deviation_gains,
+    epsilon_of_profile,
+    is_mixed_nash,
+    is_pure_nash,
+    mixed_regrets,
+    pure_regrets,
+)
+from repro.equilibria.enumeration import (
+    count_pure_nash,
+    exists_pure_nash,
+    pure_nash_profiles,
+)
+from repro.equilibria.fully_mixed import (
+    FullyMixedResult,
+    fully_mixed_candidate,
+    fully_mixed_nash,
+    has_fully_mixed_nash,
+)
+from repro.equilibria.game_graph import (
+    best_response_graph,
+    better_response_graph,
+    find_response_cycle,
+    sink_states,
+)
+from repro.equilibria.nashify import NashifyResult, nashify, nashify_common_beliefs
+from repro.equilibria.potential import (
+    exact_potential_cycle_gap,
+    has_better_response_cycle,
+    ordinal_potential_symmetric,
+    weighted_potential_common_beliefs,
+)
+from repro.equilibria.solve import solve_pure_nash
+from repro.equilibria.structure import EquilibriumSet, equilibrium_set
+from repro.equilibria.support_enum import enumerate_mixed_nash
+from repro.equilibria.symmetric import asymmetric
+from repro.equilibria.two_links import atwolinks, tolerances
+from repro.equilibria.uniform import auniform
+
+__all__ = [
+    "best_epsilon_pure",
+    "epsilon_mixed",
+    "epsilon_pure",
+    "rounded_fully_mixed",
+    "NashifyResult",
+    "nashify",
+    "nashify_common_beliefs",
+    "ordinal_potential_symmetric",
+    "EquilibriumSet",
+    "equilibrium_set",
+    "DynamicsResult",
+    "best_response_dynamics",
+    "best_responses",
+    "better_response_dynamics",
+    "deviation_gains",
+    "epsilon_of_profile",
+    "is_mixed_nash",
+    "is_pure_nash",
+    "mixed_regrets",
+    "pure_regrets",
+    "count_pure_nash",
+    "exists_pure_nash",
+    "pure_nash_profiles",
+    "FullyMixedResult",
+    "fully_mixed_candidate",
+    "fully_mixed_nash",
+    "has_fully_mixed_nash",
+    "best_response_graph",
+    "better_response_graph",
+    "find_response_cycle",
+    "sink_states",
+    "exact_potential_cycle_gap",
+    "has_better_response_cycle",
+    "weighted_potential_common_beliefs",
+    "solve_pure_nash",
+    "enumerate_mixed_nash",
+    "asymmetric",
+    "atwolinks",
+    "tolerances",
+    "auniform",
+]

@@ -1,0 +1,117 @@
+"""Approximate (epsilon) equilibria.
+
+The paper's related work cites Koutsoupias, Mavronicolas & Spirakis [12]
+on approximate equilibria. This module provides the corresponding
+notions for the belief model, used by the experiments to quantify "how
+far from equilibrium" intermediate profiles are and to round the fully
+mixed closed form into a usable profile when it leaves the simplex:
+
+* :func:`epsilon_pure` / :func:`epsilon_mixed` — the *multiplicative*
+  epsilon: the smallest ``eps`` such that no user can improve its cost by
+  more than a factor ``1 + eps`` by deviating (the standard notion for
+  latency games, scale-free across instances);
+* :func:`rounded_fully_mixed` — clip-and-renormalise the Theorem 4.6
+  candidate onto the simplex interior and report its epsilon; when the
+  true fully mixed NE exists the epsilon is ~0, and its growth as the
+  candidate leaves (0,1) measures how "almost fully mixed" an instance is;
+* :func:`best_epsilon_pure` — the minimum epsilon over all pure profiles
+  of a small game (0 iff a pure NE exists, strictly positive otherwise —
+  e.g. for the Milchtaich witness embedded via the substrate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.game import UncertainRoutingGame
+from repro.model.latency import deviation_latencies, mixed_latency_matrix
+from repro.model.profiles import (
+    AssignmentLike,
+    MixedLike,
+    MixedProfile,
+    as_assignment,
+    as_mixed_matrix,
+)
+from repro.model.social import enumerate_assignments
+from repro.equilibria.fully_mixed import fully_mixed_candidate
+
+__all__ = [
+    "epsilon_pure",
+    "epsilon_mixed",
+    "RoundedFullyMixed",
+    "rounded_fully_mixed",
+    "best_epsilon_pure",
+]
+
+
+def epsilon_pure(game: UncertainRoutingGame, assignment: AssignmentLike) -> float:
+    """Multiplicative regret of a pure profile.
+
+    ``max_i (lambda_i / min_l lambda_i->l) - 1``; zero exactly at pure NE.
+    """
+    sigma = as_assignment(assignment, game.num_users, game.num_links)
+    dev = deviation_latencies(game, sigma)
+    current = dev[np.arange(game.num_users), sigma]
+    best = dev.min(axis=1)
+    return float(max((current / best).max() - 1.0, 0.0))
+
+
+def epsilon_mixed(game: UncertainRoutingGame, mixed: MixedLike) -> float:
+    """Multiplicative regret of a mixed profile over its support."""
+    p = as_mixed_matrix(mixed, game.num_users, game.num_links)
+    lat = mixed_latency_matrix(game, p)
+    minima = lat.min(axis=1)
+    support_worst = np.where(p > 1e-12, lat, -np.inf).max(axis=1)
+    return float(max((support_worst / minima).max() - 1.0, 0.0))
+
+
+@dataclass(frozen=True)
+class RoundedFullyMixed:
+    """The simplex-projected fully mixed candidate and its quality."""
+
+    profile: MixedProfile
+    epsilon: float
+    was_interior: bool
+
+
+def rounded_fully_mixed(
+    game: UncertainRoutingGame, *, floor: float = 1e-6
+) -> RoundedFullyMixed:
+    """Project the Theorem 4.6 candidate onto the simplex interior.
+
+    Entries are clipped to ``[floor, 1]`` and rows renormalised. When the
+    candidate was already interior this is (numerically) the exact fully
+    mixed NE with epsilon ~ 0; otherwise the epsilon quantifies the
+    violation — useful as a diagnostic for "near fully mixed" instances.
+    """
+    cand = fully_mixed_candidate(game)
+    probs = np.clip(cand.probabilities, floor, None)
+    probs /= probs.sum(axis=1, keepdims=True)
+    profile = MixedProfile(probs)
+    return RoundedFullyMixed(
+        profile=profile,
+        epsilon=epsilon_mixed(game, profile),
+        was_interior=cand.exists,
+    )
+
+
+def best_epsilon_pure(game: UncertainRoutingGame) -> tuple[float, AssignmentLike]:
+    """Minimum multiplicative epsilon over all pure profiles (exhaustive).
+
+    Zero iff the game has a pure NE. For classes without pure NE (the
+    player-specific witness, embedded) this measures how close the best
+    profile gets — the natural "price of non-existence".
+    """
+    assignments = enumerate_assignments(game.num_users, game.num_links)
+    best_eps = np.inf
+    best_sigma = assignments[0]
+    for row in assignments:
+        eps = epsilon_pure(game, row)
+        if eps < best_eps:
+            best_eps = eps
+            best_sigma = row
+            if best_eps == 0.0:
+                break
+    return float(best_eps), best_sigma

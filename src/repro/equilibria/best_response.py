@@ -1,0 +1,233 @@
+"""Best- and better-response dynamics with cycle detection.
+
+These dynamics serve three roles in the reproduction:
+
+1. a general-purpose pure-NE solver for games outside the paper's three
+   special cases (the fallback used by :func:`repro.equilibria.solve.solve_pure_nash`);
+2. the instrument of the Section 3.2 simulation campaign — the paper's
+   evidence for Conjecture 3.7 is that dynamics/enumeration never failed
+   to locate a pure NE;
+3. the cycle detector behind the "no ordinal potential" observation
+   (B. Monien): a better-response cycle certifies that the game has no
+   ordinal potential function.
+
+Deterministic schedules make revisiting a state a proof of cycling, so
+cycle detection is a dictionary lookup on visited profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.model.game import UncertainRoutingGame
+from repro.model.latency import deviation_latencies
+from repro.model.profiles import AssignmentLike, PureProfile, as_assignment
+from repro.util.rng import RandomState, as_generator
+
+__all__ = [
+    "DynamicsResult",
+    "best_responses",
+    "best_response_dynamics",
+    "better_response_dynamics",
+]
+
+Schedule = Literal["round_robin", "max_regret", "random"]
+
+
+def best_responses(game: UncertainRoutingGame, assignment: AssignmentLike) -> np.ndarray:
+    """Each user's best-response link against the others' current choices.
+
+    Ties break toward the lowest link index (then toward staying put is
+    irrelevant because the current link participates in the argmin with
+    its exact latency).
+    """
+    dev = deviation_latencies(game, assignment)
+    return np.argmin(dev, axis=1).astype(np.intp)
+
+
+@dataclass
+class DynamicsResult:
+    """Outcome of a response dynamic run.
+
+    Attributes
+    ----------
+    profile:
+        The final pure profile (a Nash equilibrium iff ``converged``).
+    converged:
+        True when no user had a profitable deviation at termination.
+    steps:
+        Number of accepted improvement moves.
+    cycled:
+        True when the trajectory revisited a profile (possible only for
+        deterministic schedules; certifies a better-/best-response cycle).
+    cycle:
+        The cyclic segment of the trajectory when ``cycled``.
+    history:
+        Visited profiles in order (first entry is the start profile).
+    """
+
+    profile: PureProfile
+    converged: bool
+    steps: int
+    cycled: bool = False
+    cycle: list[PureProfile] = field(default_factory=list)
+    history: list[PureProfile] = field(default_factory=list)
+
+
+def _improvers(
+    dev: np.ndarray, sigma: np.ndarray, tol: float
+) -> np.ndarray:
+    """Users with a strictly improving deviation under tolerance *tol*."""
+    current = dev[np.arange(sigma.size), sigma]
+    scale = np.maximum(current, 1.0)
+    return np.flatnonzero(dev.min(axis=1) < current - tol * scale)
+
+
+def _run_dynamics(
+    game: UncertainRoutingGame,
+    start: AssignmentLike | None,
+    *,
+    mode: Literal["best", "better"],
+    schedule: Schedule,
+    max_steps: int,
+    tol: float,
+    seed: RandomState,
+    record_history: bool,
+    raise_on_budget: bool,
+) -> DynamicsResult:
+    n, m = game.num_users, game.num_links
+    rng = as_generator(seed)
+    if start is None:
+        sigma = rng.integers(0, m, size=n).astype(np.intp)
+    else:
+        sigma = as_assignment(start, n, m).copy()
+
+    history: list[PureProfile] = []
+    seen: dict[bytes, int] = {}
+    deterministic = schedule != "random"
+
+    def snapshot() -> PureProfile:
+        return PureProfile(sigma.copy(), m)
+
+    if record_history:
+        history.append(snapshot())
+
+    steps = 0
+    while steps < max_steps:
+        if deterministic:
+            key = sigma.tobytes()
+            if key in seen:
+                # Deterministic revisit => the remaining trajectory cycles.
+                start_idx = seen[key]
+                cycle = history[start_idx:] if record_history else []
+                return DynamicsResult(
+                    profile=snapshot(),
+                    converged=False,
+                    steps=steps,
+                    cycled=True,
+                    cycle=cycle,
+                    history=history,
+                )
+            seen[key] = len(history) - 1 if record_history else steps
+
+        dev = deviation_latencies(game, sigma)
+        movers = _improvers(dev, sigma, tol)
+        if movers.size == 0:
+            return DynamicsResult(
+                profile=snapshot(), converged=True, steps=steps, history=history
+            )
+
+        if schedule == "round_robin":
+            user = int(movers.min())
+        elif schedule == "max_regret":
+            current = dev[movers, sigma[movers]]
+            regret = current - dev[movers].min(axis=1)
+            user = int(movers[int(np.argmax(regret))])
+        else:  # random
+            user = int(rng.choice(movers))
+
+        row = dev[user]
+        if mode == "best":
+            target = int(np.argmin(row))
+        else:
+            current_cost = row[sigma[user]]
+            scale = max(current_cost, 1.0)
+            better = np.flatnonzero(row < current_cost - tol * scale)
+            target = int(better[0]) if deterministic else int(rng.choice(better))
+
+        sigma[user] = target
+        steps += 1
+        if record_history:
+            history.append(snapshot())
+
+    if raise_on_budget:
+        raise ConvergenceError(
+            f"dynamics did not converge within {max_steps} steps "
+            f"(n={n}, m={m}, schedule={schedule})"
+        )
+    return DynamicsResult(
+        profile=snapshot(), converged=False, steps=steps, history=history
+    )
+
+
+def best_response_dynamics(
+    game: UncertainRoutingGame,
+    start: AssignmentLike | None = None,
+    *,
+    schedule: Schedule = "round_robin",
+    max_steps: int = 100_000,
+    tol: float = 1e-9,
+    seed: RandomState = None,
+    record_history: bool = False,
+    raise_on_budget: bool = False,
+) -> DynamicsResult:
+    """Iterate single-user *best* responses until no user can improve.
+
+    With a deterministic schedule a revisited profile is reported as a
+    best-response cycle (``cycled=True``) instead of looping forever.
+    """
+    return _run_dynamics(
+        game,
+        start,
+        mode="best",
+        schedule=schedule,
+        max_steps=max_steps,
+        tol=tol,
+        seed=seed,
+        record_history=record_history,
+        raise_on_budget=raise_on_budget,
+    )
+
+
+def better_response_dynamics(
+    game: UncertainRoutingGame,
+    start: AssignmentLike | None = None,
+    *,
+    schedule: Schedule = "round_robin",
+    max_steps: int = 100_000,
+    tol: float = 1e-9,
+    seed: RandomState = None,
+    record_history: bool = False,
+    raise_on_budget: bool = False,
+) -> DynamicsResult:
+    """Iterate single-user *better* responses (first/random improving link).
+
+    Convergence of better-response dynamics from every start is exactly
+    the finite-improvement property (FIP); a detected cycle refutes the
+    existence of an ordinal potential for the instance.
+    """
+    return _run_dynamics(
+        game,
+        start,
+        mode="better",
+        schedule=schedule,
+        max_steps=max_steps,
+        tol=tol,
+        seed=seed,
+        record_history=record_history,
+        raise_on_budget=raise_on_budget,
+    )

@@ -1,0 +1,117 @@
+"""Nash-equilibrium conditions for pure and mixed profiles (Section 2).
+
+A probability matrix ``P`` is a Nash equilibrium when every user puts
+positive probability only on links whose expected latency attains its
+minimum:
+
+    lambda^l_{i,b_i}(P)  = lambda_{i,b_i}(P)   if P[i, l] > 0
+    lambda^l_{i,b_i}(P) >= lambda_{i,b_i}(P)   if P[i, l] = 0.
+
+For a pure profile the condition specialises to: no user can strictly
+reduce its belief-expected latency by unilaterally switching links.
+
+All checks are tolerance-based (default ``1e-9`` relative to the latency
+scale) because effective capacities are floating-point reductions of
+belief expectations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.game import UncertainRoutingGame
+from repro.model.latency import deviation_latencies, mixed_latency_matrix
+from repro.model.profiles import AssignmentLike, MixedLike, as_assignment, as_mixed_matrix
+
+__all__ = [
+    "DEFAULT_TOL",
+    "pure_regrets",
+    "deviation_gains",
+    "is_pure_nash",
+    "mixed_regrets",
+    "is_mixed_nash",
+    "epsilon_of_profile",
+]
+
+#: Default tolerance for equilibrium tests.
+DEFAULT_TOL = 1e-9
+
+
+def deviation_gains(game: UncertainRoutingGame, assignment: AssignmentLike) -> np.ndarray:
+    """The ``(n, m)`` matrix of latency *changes* available to each user.
+
+    Entry ``(i, l)`` is ``lambda_i(sigma with i -> l) - lambda_i(sigma)``;
+    negative entries are profitable unilateral deviations.
+    """
+    sigma = as_assignment(assignment, game.num_users, game.num_links)
+    dev = deviation_latencies(game, assignment)
+    current = dev[np.arange(game.num_users), sigma]
+    return dev - current[:, None]
+
+
+def pure_regrets(game: UncertainRoutingGame, assignment: AssignmentLike) -> np.ndarray:
+    """Per-user regret: current latency minus best achievable latency.
+
+    A profile is a pure Nash equilibrium iff every regret is (numerically)
+    zero; the vector doubles as the defecting-user indicator of Section 3.
+    """
+    gains = deviation_gains(game, assignment)
+    return np.maximum(-gains.min(axis=1), 0.0)
+
+
+def is_pure_nash(
+    game: UncertainRoutingGame,
+    assignment: AssignmentLike,
+    *,
+    tol: float = DEFAULT_TOL,
+) -> bool:
+    """True when no user can strictly improve by a unilateral move."""
+    dev = deviation_latencies(game, assignment)
+    sigma = as_assignment(assignment, game.num_users, game.num_links)
+    current = dev[np.arange(game.num_users), sigma]
+    scale = np.maximum(current, 1.0)
+    return bool(np.all(dev.min(axis=1) >= current - tol * scale))
+
+
+def mixed_regrets(game: UncertainRoutingGame, mixed: MixedLike) -> np.ndarray:
+    """Per-user regret of a mixed profile.
+
+    For user ``i`` this is ``max_{l in support(i)} lambda^l_i - min_l
+    lambda^l_i``: how far the worst supported link is from optimal. Zero
+    for every user exactly characterises a mixed Nash equilibrium.
+    """
+    p = as_mixed_matrix(mixed, game.num_users, game.num_links)
+    lat = mixed_latency_matrix(game, p)
+    minima = lat.min(axis=1)
+    support_worst = np.where(p > 1e-12, lat, -np.inf).max(axis=1)
+    return np.maximum(support_worst - minima, 0.0)
+
+
+def is_mixed_nash(
+    game: UncertainRoutingGame,
+    mixed: MixedLike,
+    *,
+    tol: float = DEFAULT_TOL,
+) -> bool:
+    """True when the support-optimality condition holds for every user."""
+    p = as_mixed_matrix(mixed, game.num_users, game.num_links)
+    lat = mixed_latency_matrix(game, p)
+    minima = lat.min(axis=1)
+    scale = np.maximum(minima, 1.0)
+    bad = (p > 1e-12) & (lat > (minima + tol * scale)[:, None])
+    return not bool(bad.any())
+
+
+def epsilon_of_profile(
+    game: UncertainRoutingGame, profile: MixedLike | AssignmentLike
+) -> float:
+    """The additive epsilon for which the profile is an epsilon-NE
+    (the maximum regret across users)."""
+    if hasattr(profile, "links"):  # PureProfile
+        return float(pure_regrets(game, profile).max())
+    arr = np.asarray(
+        profile.matrix if hasattr(profile, "matrix") else profile, dtype=np.float64
+    )
+    if arr.ndim == 2:
+        return float(mixed_regrets(game, profile).max())
+    return float(pure_regrets(game, profile).max())

@@ -1,0 +1,122 @@
+"""Exhaustive pure-Nash-equilibrium enumeration for small games.
+
+The Section 3.2 simulation campaign and the n=3 existence claim both rest
+on being able to *decide* whether a small game has a pure NE. This module
+sweeps all ``m^n`` assignments fully vectorised: for a block of profiles
+it materialises the ``(B, n, m)`` deviation-latency tensor and keeps the
+rows whose minimum sits on the diagonal of the chosen links.
+
+Blocks bound peak memory, so games up to a few million profiles are
+checked without allocating the full tensor at once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.game import UncertainRoutingGame
+from repro.model.profiles import PureProfile
+from repro.model.social import MAX_EXHAUSTIVE_PROFILES, enumerate_assignments
+
+__all__ = [
+    "pure_nash_mask",
+    "pure_nash_profiles",
+    "exists_pure_nash",
+    "count_pure_nash",
+]
+
+
+def _blocks(total: int, block: int) -> Iterator[tuple[int, int]]:
+    start = 0
+    while start < total:
+        yield start, min(start + block, total)
+        start += block
+
+
+def pure_nash_mask(
+    game: UncertainRoutingGame,
+    assignments: np.ndarray,
+    *,
+    tol: float = 1e-9,
+    block_size: int = 65_536,
+) -> np.ndarray:
+    """Boolean mask over the rows of *assignments* that are pure NE.
+
+    Vectorised Nash test: a row ``sigma`` is an equilibrium iff for every
+    user ``i`` and link ``l``::
+
+        loads[sigma_i] / C[i, sigma_i]  <=  (loads[l] + w_i [l != sigma_i]) / C[i, l]
+    """
+    sig_all = np.ascontiguousarray(assignments, dtype=np.intp)
+    n, m = game.num_users, game.num_links
+    if sig_all.ndim != 2 or sig_all.shape[1] != n:
+        raise ModelError(f"assignments must have shape (B, {n})")
+    w = game.weights
+    caps = game.capacities
+    t = game.initial_traffic
+    out = np.empty(sig_all.shape[0], dtype=bool)
+
+    for lo, hi in _blocks(sig_all.shape[0], block_size):
+        sig = sig_all[lo:hi]
+        b = sig.shape[0]
+        loads = np.zeros((b, m))
+        for link in range(m):
+            loads[:, link] = (w[None, :] * (sig == link)).sum(axis=1)
+        loads += t[None, :]
+        rows = np.arange(b)[:, None]
+        users = np.arange(n)[None, :]
+        current = loads[rows, sig] / caps[users, sig]  # (b, n)
+        # seen[b, i, l] = loads[b, l] + w_i unless l == sigma_i
+        seen = loads[:, None, :] + w[None, :, None]
+        seen[rows, users, sig] -= w[None, :]
+        dev = seen / caps[None, :, :]
+        scale = np.maximum(current, 1.0)
+        out[lo:hi] = np.all(
+            dev.min(axis=2) >= current - tol * scale, axis=1
+        )
+    return out
+
+
+def pure_nash_profiles(
+    game: UncertainRoutingGame, *, tol: float = 1e-9
+) -> list[PureProfile]:
+    """All pure Nash equilibria of a small game (exhaustive sweep)."""
+    total = game.num_links**game.num_users
+    if total > MAX_EXHAUSTIVE_PROFILES:
+        raise ModelError(
+            f"{total} profiles exceed the exhaustive limit "
+            f"({MAX_EXHAUSTIVE_PROFILES}); use best-response dynamics instead"
+        )
+    assignments = enumerate_assignments(game.num_users, game.num_links)
+    mask = pure_nash_mask(game, assignments, tol=tol)
+    return [PureProfile(row, game.num_links) for row in assignments[mask]]
+
+
+def exists_pure_nash(game: UncertainRoutingGame, *, tol: float = 1e-9) -> bool:
+    """Whether the game possesses at least one pure Nash equilibrium.
+
+    Short-circuits block by block, so a positive answer usually returns
+    after inspecting a fraction of the profile space.
+    """
+    total = game.num_links**game.num_users
+    if total > MAX_EXHAUSTIVE_PROFILES:
+        raise ModelError(
+            f"{total} profiles exceed the exhaustive limit "
+            f"({MAX_EXHAUSTIVE_PROFILES}); use best-response dynamics instead"
+        )
+    assignments = enumerate_assignments(game.num_users, game.num_links)
+    block = 65_536
+    for lo in range(0, total, block):
+        mask = pure_nash_mask(game, assignments[lo : lo + block], tol=tol)
+        if mask.any():
+            return True
+    return False
+
+
+def count_pure_nash(game: UncertainRoutingGame, *, tol: float = 1e-9) -> int:
+    """Number of pure Nash equilibria (exhaustive)."""
+    assignments = enumerate_assignments(game.num_users, game.num_links)
+    return int(pure_nash_mask(game, assignments, tol=tol).sum())

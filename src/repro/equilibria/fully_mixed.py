@@ -1,0 +1,126 @@
+"""Fully mixed Nash equilibria — the closed form of Section 4.
+
+A fully mixed profile assigns every user positive probability on every
+link. The paper derives (Lemmas 4.1-4.3) that if a fully mixed NE exists
+its probabilities are forced, hence it is unique (Theorem 4.6) and
+computable in O(nm) (Corollary 4.7).
+
+The implementation works in linear-algebra form, generalised to carry the
+initial link traffic ``t`` used elsewhere in the library (set ``t = 0`` to
+recover the paper exactly; the derivation is identical):
+
+* minimum expected latency (Lemma 4.1, generalised):
+    ``lambda_i = ((m - 1) w_i + W_tot + sum_l t_l) / S_i``,
+  with ``S_i = sum_l C[i, l]``;
+* expected link traffic (Lemma 4.2, generalised):
+    ``W^l = (sum_i C[i, l] lambda_i - W_tot - n t_l) / (n - 1)``;
+* probabilities (Lemma 4.3):
+    ``p^l_i = (t_l + W^l + w_i - C[i, l] lambda_i) / w_i``.
+
+Rows of the candidate automatically sum to one (Remark 4.4); the candidate
+is the unique fully mixed NE iff every entry lies strictly inside (0, 1)
+(Lemma 4.5 / Theorem 4.6). Under uniform beliefs the formula collapses to
+``p^l_i = 1/m`` (Theorem 4.8) — a property test pins this down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NotFullyMixedError
+from repro.model.game import UncertainRoutingGame
+from repro.model.profiles import MixedProfile
+
+__all__ = [
+    "FullyMixedResult",
+    "fully_mixed_candidate",
+    "fully_mixed_nash",
+    "has_fully_mixed_nash",
+]
+
+
+@dataclass(frozen=True)
+class FullyMixedResult:
+    """The closed-form fully mixed candidate and its derived quantities.
+
+    Attributes
+    ----------
+    probabilities:
+        The ``(n, m)`` candidate matrix of Lemma 4.3. Rows sum to one but
+        entries may fall outside ``(0, 1)``, in which case no fully mixed
+        NE exists (the matrix is still meaningful: Corollary 4.10 uses it
+        as the dominating pseudo-profile for the social-cost bound).
+    latencies:
+        The per-user minimum expected latencies ``lambda_i`` of Lemma 4.1.
+    link_traffic:
+        The expected link traffic ``W^l`` of Lemma 4.2 (excluding ``t``).
+    exists:
+        True iff every probability lies strictly within ``(0, 1)``.
+    """
+
+    probabilities: np.ndarray
+    latencies: np.ndarray
+    link_traffic: np.ndarray
+    exists: bool
+
+    def profile(self) -> MixedProfile:
+        """The candidate as a validated :class:`MixedProfile`.
+
+        Only callable when the candidate is a genuine distribution
+        (entries may be negative otherwise).
+        """
+        return MixedProfile(self.probabilities)
+
+
+def fully_mixed_candidate(
+    game: UncertainRoutingGame, *, boundary_tol: float = 1e-12
+) -> FullyMixedResult:
+    """Evaluate the closed form of Lemmas 4.1-4.3 in O(nm)."""
+    n, m = game.num_users, game.num_links
+    w = game.weights
+    caps = game.capacities
+    t = game.initial_traffic
+    w_tot = game.total_traffic
+    t_tot = float(t.sum())
+
+    row_sums = caps.sum(axis=1)  # S_i
+    lam = ((m - 1) * w + w_tot + t_tot) / row_sums  # Lemma 4.1
+    link_traffic = (caps.T @ lam - w_tot - n * t) / (n - 1)  # Lemma 4.2
+    probs = (t[None, :] + link_traffic[None, :] + w[:, None] - caps * lam[:, None]) / w[
+        :, None
+    ]  # Lemma 4.3
+
+    interior = bool(
+        np.all(probs > boundary_tol) and np.all(probs < 1.0 - boundary_tol)
+    )
+    return FullyMixedResult(
+        probabilities=probs,
+        latencies=lam,
+        link_traffic=link_traffic,
+        exists=interior,
+    )
+
+
+def fully_mixed_nash(game: UncertainRoutingGame) -> MixedProfile:
+    """The unique fully mixed Nash equilibrium (Theorem 4.6).
+
+    Raises :class:`~repro.errors.NotFullyMixedError` when the closed-form
+    candidate has a coordinate outside ``(0, 1)``, which by Theorem 4.6
+    means no fully mixed NE exists.
+    """
+    result = fully_mixed_candidate(game)
+    if not result.exists:
+        low = float(result.probabilities.min())
+        high = float(result.probabilities.max())
+        raise NotFullyMixedError(
+            "no fully mixed Nash equilibrium: closed-form probabilities "
+            f"span [{low:.6g}, {high:.6g}], which leaves (0, 1)"
+        )
+    return result.profile()
+
+
+def has_fully_mixed_nash(game: UncertainRoutingGame) -> bool:
+    """Whether the game admits a (then unique) fully mixed NE."""
+    return fully_mixed_candidate(game).exists

@@ -1,0 +1,114 @@
+"""Game graphs over pure profiles (Section 3's proof instrument).
+
+The paper defines the *game graph* of an instance: nodes are the pure
+states, and there is an edge ``s -> s'`` when a user who is defecting
+(unsatisfied) in ``s`` moves and is satisfied in ``s'`` — equivalently, a
+defecting user moves to a *best response*. The n=3 existence proof shows
+this graph has no cycles reachable by best responses, hence a sink (a
+pure NE) exists.
+
+This module materialises two edge sets over the full ``m^n`` state space
+of small games:
+
+* the **best-response graph** (the paper's game graph), and
+* the **better-response graph** (any strictly improving unilateral move),
+  whose acyclicity is exactly the finite improvement property used in the
+  ordinal-potential discussion of Section 3.2.
+
+Graphs are :class:`networkx.DiGraph` objects with profile tuples as nodes,
+so the standard cycle/condensation toolbox applies directly.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.game import UncertainRoutingGame
+from repro.model.latency import deviation_latencies
+from repro.model.profiles import PureProfile
+from repro.model.social import enumerate_assignments
+
+__all__ = [
+    "better_response_graph",
+    "best_response_graph",
+    "find_response_cycle",
+    "sink_states",
+]
+
+#: Game-graph construction is exhaustive; refuse beyond this many states.
+MAX_GRAPH_STATES = 100_000
+
+
+def _response_graph(
+    game: UncertainRoutingGame, kind: Literal["best", "better"], tol: float
+) -> nx.DiGraph:
+    n, m = game.num_users, game.num_links
+    total = m**n
+    if total > MAX_GRAPH_STATES:
+        raise ModelError(
+            f"game graph would have {total} states (limit {MAX_GRAPH_STATES})"
+        )
+    graph = nx.DiGraph()
+    assignments = enumerate_assignments(n, m)
+    for row in assignments:
+        node = tuple(int(x) for x in row)
+        graph.add_node(node)
+        dev = deviation_latencies(game, row)
+        current = dev[np.arange(n), row]
+        scale = np.maximum(current, 1.0)
+        for i in range(n):
+            improving = np.flatnonzero(dev[i] < current[i] - tol * scale[i])
+            if improving.size == 0:
+                continue
+            if kind == "best":
+                best = dev[i].min()
+                targets = improving[
+                    dev[i, improving] <= best + tol * max(best, 1.0)
+                ]
+            else:
+                targets = improving
+            for link in targets:
+                succ = list(node)
+                succ[i] = int(link)
+                graph.add_edge(node, tuple(succ), user=i)
+    return graph
+
+
+def best_response_graph(
+    game: UncertainRoutingGame, *, tol: float = 1e-9
+) -> nx.DiGraph:
+    """The paper's game graph: defecting users move to best responses."""
+    return _response_graph(game, "best", tol)
+
+
+def better_response_graph(
+    game: UncertainRoutingGame, *, tol: float = 1e-9
+) -> nx.DiGraph:
+    """Edges for *every* strictly improving unilateral move."""
+    return _response_graph(game, "better", tol)
+
+
+def find_response_cycle(graph: nx.DiGraph) -> list[tuple[int, ...]] | None:
+    """A directed cycle of the response graph, or ``None`` when acyclic.
+
+    A best-response cycle refutes convergence of the paper's defection
+    chains; a better-response cycle refutes the ordinal potential.
+    """
+    try:
+        edges = nx.find_cycle(graph, orientation="original")
+    except nx.NetworkXNoCycle:
+        return None
+    return [edge[0] for edge in edges] + [edges[-1][1]]
+
+
+def sink_states(graph: nx.DiGraph) -> list[PureProfile]:
+    """States with no outgoing response edge — exactly the pure NE."""
+    sinks = [node for node in graph.nodes if graph.out_degree(node) == 0]
+    if not sinks:
+        return []
+    num_links = 1 + max(max(node) for node in graph.nodes)
+    return [PureProfile(np.asarray(node, dtype=np.intp), num_links) for node in sinks]

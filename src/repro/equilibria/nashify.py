@@ -1,0 +1,167 @@
+"""Nashification: convert any profile into a pure NE without degrading it.
+
+Feldmann et al. [4] (cited in the paper's related work) showed that in
+the KP-model any pure strategy profile can be transformed into a pure
+Nash equilibrium without increasing the maximum congestion. This module
+implements the corresponding procedure for this library's games:
+
+* :func:`nashify_common_beliefs` — the classic guarantee. For common
+  beliefs all users agree on every link's congestion ``L_l / c^l``, and
+  repeatedly moving a *maximum-congestion* link's user to its best
+  response never increases the maximum congestion; the weighted potential
+  (:mod:`repro.equilibria.potential`) guarantees termination.
+* :func:`nashify` — the general-game variant: plain best-response
+  improvement from the given start. Without a potential there is no
+  monotonicity guarantee (the subjective SC2 may transiently grow), so
+  the function reports the before/after social costs and is used by the
+  experiments to measure how much nashification costs under uncertainty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AlgorithmDomainError, ConvergenceError
+from repro.model.game import UncertainRoutingGame
+from repro.model.latency import deviation_latencies
+from repro.model.profiles import AssignmentLike, PureProfile, as_assignment, loads_of
+from repro.model.social import social_costs_of_pure
+from repro.equilibria.best_response import best_response_dynamics
+from repro.equilibria.conditions import is_pure_nash
+
+__all__ = ["NashifyResult", "nashify", "nashify_common_beliefs"]
+
+
+@dataclass(frozen=True)
+class NashifyResult:
+    """Before/after record of a nashification run."""
+
+    profile: PureProfile
+    steps: int
+    sc1_before: float
+    sc1_after: float
+    sc2_before: float
+    sc2_after: float
+    max_congestion_before: float
+    max_congestion_after: float
+
+    @property
+    def preserved_max_congestion(self) -> bool:
+        """Whether the classic guarantee held: SC never got worse."""
+        return self.max_congestion_after <= self.max_congestion_before * (
+            1 + 1e-9
+        )
+
+
+def _objective_congestion(game: UncertainRoutingGame, sigma: np.ndarray) -> float:
+    """Common-beliefs objective congestion ``max_l L_l / c^l``."""
+    caps = game.capacities[0]
+    loads = loads_of(sigma, game.weights, game.num_links, game.initial_traffic)
+    return float((loads / caps).max())
+
+
+def nashify_common_beliefs(
+    game: UncertainRoutingGame,
+    start: AssignmentLike,
+    *,
+    max_steps: int = 100_000,
+) -> NashifyResult:
+    """Nashify under common beliefs without increasing max congestion.
+
+    Strategy (Feldmann et al.): while some user defects, move a defecting
+    user currently sitting on a maximum-congestion link if one exists
+    (this can only lower the maximum), otherwise any defector (its target
+    link stays below the current maximum, which is untouched). The
+    weighted potential decreases on every move, so the procedure
+    terminates at a pure NE.
+    """
+    if not game.has_common_beliefs():
+        raise AlgorithmDomainError(
+            "nashify_common_beliefs requires common beliefs; "
+            "use nashify() for general games"
+        )
+    sigma = as_assignment(start, game.num_users, game.num_links).copy()
+    caps = game.capacities[0]
+    sc1_before, sc2_before = social_costs_of_pure(game, sigma)
+    congestion_before = _objective_congestion(game, sigma)
+
+    steps = 0
+    while steps < max_steps:
+        dev = deviation_latencies(game, sigma)
+        current = dev[np.arange(game.num_users), sigma]
+        scale = np.maximum(current, 1.0)
+        movers = np.flatnonzero(dev.min(axis=1) < current - 1e-9 * scale)
+        if movers.size == 0:
+            break
+        loads = loads_of(sigma, game.weights, game.num_links, game.initial_traffic)
+        congestion = loads / caps
+        worst_links = np.flatnonzero(
+            congestion >= congestion.max() * (1 - 1e-12)
+        )
+        on_worst = movers[np.isin(sigma[movers], worst_links)]
+        user = int(on_worst[0]) if on_worst.size else int(movers[0])
+        sigma[user] = int(np.argmin(dev[user]))
+        steps += 1
+    else:
+        raise ConvergenceError(
+            f"nashification exceeded {max_steps} steps (weights n={game.num_users})"
+        )
+
+    profile = PureProfile(sigma, game.num_links)
+    sc1_after, sc2_after = social_costs_of_pure(game, profile)
+    return NashifyResult(
+        profile=profile,
+        steps=steps,
+        sc1_before=sc1_before,
+        sc1_after=sc1_after,
+        sc2_before=sc2_before,
+        sc2_after=sc2_after,
+        max_congestion_before=congestion_before,
+        max_congestion_after=_objective_congestion(game, profile.links),
+    )
+
+
+def nashify(
+    game: UncertainRoutingGame,
+    start: AssignmentLike,
+    *,
+    max_steps: int = 100_000,
+) -> NashifyResult:
+    """Nashify a general game by best-response improvement from *start*.
+
+    Under distinct beliefs there is no objective congestion all users
+    agree on, so no monotonicity guarantee exists; the result records the
+    subjective SC1/SC2 and the *average-capacity* congestion before and
+    after so experiments can quantify the gap to the classic guarantee.
+    """
+    sigma = as_assignment(start, game.num_users, game.num_links)
+    sc1_before, sc2_before = social_costs_of_pure(game, sigma)
+    # Without common beliefs, measure congestion against per-link mean
+    # effective capacities (a fixed observer).
+    mean_caps = game.capacities.mean(axis=0)
+    loads = loads_of(sigma, game.weights, game.num_links, game.initial_traffic)
+    congestion_before = float((loads / mean_caps).max())
+
+    result = best_response_dynamics(
+        game, sigma, schedule="max_regret", max_steps=max_steps,
+        raise_on_budget=True,
+    )
+    profile = result.profile
+    if not is_pure_nash(game, profile):  # pragma: no cover - defensive
+        raise ConvergenceError("dynamics stopped at a non-equilibrium")
+    sc1_after, sc2_after = social_costs_of_pure(game, profile)
+    loads_after = loads_of(
+        profile.links, game.weights, game.num_links, game.initial_traffic
+    )
+    return NashifyResult(
+        profile=profile,
+        steps=result.steps,
+        sc1_before=sc1_before,
+        sc1_after=sc1_after,
+        sc2_before=sc2_before,
+        sc2_after=sc2_after,
+        max_congestion_before=congestion_before,
+        max_congestion_after=float((loads_after / mean_caps).max()),
+    )

@@ -1,0 +1,261 @@
+"""Potential-function analysis (Section 3.2).
+
+The paper reports two structural negatives for the general model, both of
+which this module makes checkable:
+
+* **No exact potential.** By Monderer & Shapley, a game admits an exact
+  potential iff every two-player four-cycle of unilateral deviations has
+  zero net deviator cost change. :func:`exact_potential_cycle_gap`
+  evaluates that cycle sum over sampled (or exhaustively, all) 4-cycles;
+  a non-zero gap certifies non-existence.
+* **No ordinal potential.** An ordinal potential exists iff the game has
+  the finite improvement property, i.e. its better-response graph is
+  acyclic. :func:`has_better_response_cycle` searches for a cycle, which
+  reproduces B. Monien's observation that the state space of an instance
+  of the game contains an improvement cycle.
+
+For contrast, the *common-beliefs* restriction of the model (which covers
+the KP-model) is a weighted potential game:
+:func:`weighted_potential_common_beliefs` implements
+
+    Phi(sigma) = sum_l (L_l^2 + sum_{i on l} w_i^2) / (2 c^l)
+
+which satisfies ``Phi(s') - Phi(s) = w_i (lambda_i(s') - lambda_i(s))``
+for a unilateral move of user ``i`` — so better-response dynamics always
+converge there.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import AlgorithmDomainError
+from repro.model.game import UncertainRoutingGame
+from repro.model.latency import pure_latency_of_user
+from repro.model.profiles import AssignmentLike, as_assignment, loads_of
+from repro.equilibria.game_graph import (
+    MAX_GRAPH_STATES,
+    better_response_graph,
+    find_response_cycle,
+)
+from repro.equilibria.best_response import better_response_dynamics
+from repro.util.rng import RandomState, as_generator
+
+__all__ = [
+    "exact_potential_cycle_gap",
+    "has_better_response_cycle",
+    "weighted_potential_common_beliefs",
+    "verify_weighted_potential",
+    "ordinal_potential_symmetric",
+    "verify_ordinal_potential_symmetric",
+]
+
+
+def _four_cycle_gap(
+    game: UncertainRoutingGame,
+    base: np.ndarray,
+    i: int,
+    j: int,
+    links_i: tuple[int, int],
+    links_j: tuple[int, int],
+) -> float:
+    """Net deviator cost change around one two-player four-cycle."""
+    a, a2 = links_i
+    b, b2 = links_j
+    sigma = base.copy()
+    sigma[i], sigma[j] = a, b
+
+    total = 0.0
+    # move order: i: a->a2, j: b->b2, i: a2->a, j: b2->b
+    for user, new_link in ((i, a2), (j, b2), (i, a), (j, b)):
+        before = pure_latency_of_user(game, sigma, user)
+        sigma[user] = new_link
+        after = pure_latency_of_user(game, sigma, user)
+        total += after - before
+    return total
+
+
+def exact_potential_cycle_gap(
+    game: UncertainRoutingGame,
+    *,
+    num_samples: int | None = None,
+    seed: RandomState = None,
+) -> float:
+    """Maximum |cycle sum| over two-player four-cycles.
+
+    Zero for every 4-cycle iff the game admits an exact potential
+    (Monderer & Shapley 1996, Thm 2.8). With ``num_samples=None`` and a
+    small game, all 4-cycles are enumerated; otherwise *num_samples*
+    random cycles are evaluated.
+    """
+    n, m = game.num_users, game.num_links
+    pairs = list(itertools.combinations(range(n), 2))
+    link_pairs = list(itertools.permutations(range(m), 2))
+    exhaustive_count = len(pairs) * len(link_pairs) ** 2 * m ** max(n - 2, 0)
+
+    worst = 0.0
+    if num_samples is None and exhaustive_count <= 200_000:
+        others = [u for u in range(n)]
+        from repro.model.social import enumerate_assignments
+
+        for i, j in pairs:
+            rest = [u for u in others if u not in (i, j)]
+            if rest:
+                rest_assignments = enumerate_assignments(len(rest), m)
+            else:
+                rest_assignments = np.zeros((1, 0), dtype=np.intp)
+            for rest_row in rest_assignments:
+                base = np.zeros(n, dtype=np.intp)
+                base[rest] = rest_row
+                for li in link_pairs:
+                    for lj in link_pairs:
+                        gap = _four_cycle_gap(game, base, i, j, li, lj)
+                        worst = max(worst, abs(gap))
+        return worst
+
+    rng = as_generator(seed)
+    samples = 1_000 if num_samples is None else int(num_samples)
+    for _ in range(samples):
+        i, j = rng.choice(n, size=2, replace=False)
+        base = rng.integers(0, m, size=n).astype(np.intp)
+        li = tuple(rng.choice(m, size=2, replace=False))
+        lj = tuple(rng.choice(m, size=2, replace=False))
+        gap = _four_cycle_gap(game, base, int(i), int(j), li, lj)
+        worst = max(worst, abs(gap))
+    return worst
+
+
+def has_better_response_cycle(
+    game: UncertainRoutingGame,
+    *,
+    restarts: int = 20,
+    seed: RandomState = None,
+) -> bool:
+    """Search for a better-response (improvement) cycle.
+
+    Small games get the exact graph-acyclicity test; larger games are
+    probed with deterministic better-response trajectories from random
+    starts, whose revisits certify cycles (a ``False`` is then only
+    "none found").
+    """
+    if game.num_links**game.num_users <= MAX_GRAPH_STATES:
+        graph = better_response_graph(game)
+        return find_response_cycle(graph) is not None
+    rng = as_generator(seed)
+    for _ in range(restarts):
+        start = rng.integers(0, game.num_links, size=game.num_users)
+        result = better_response_dynamics(
+            game, start, schedule="round_robin", record_history=False
+        )
+        if result.cycled:
+            return True
+    return False
+
+
+def weighted_potential_common_beliefs(
+    game: UncertainRoutingGame, assignment: AssignmentLike
+) -> float:
+    """The weighted potential for common-beliefs games.
+
+    ``Phi(sigma) = sum_l (L_l^2 + sum_{i on l} w_i^2) / (2 c^l)`` with
+    ``L_l`` the full load (initial traffic included). A unilateral move of
+    user ``i`` changes ``Phi`` by exactly ``w_i`` times the user's latency
+    change, so ``Phi`` orders improvement paths and the restricted model
+    always has pure NE.
+    """
+    if not game.has_common_beliefs():
+        raise AlgorithmDomainError(
+            "the weighted potential requires common beliefs "
+            "(all users sharing one effective-capacity row)"
+        )
+    sigma = as_assignment(assignment, game.num_users, game.num_links)
+    w = game.weights
+    caps = game.capacities[0]  # common row
+    loads = loads_of(sigma, w, game.num_links, game.initial_traffic)
+    own = np.bincount(sigma, weights=w**2, minlength=game.num_links)
+    return float(((loads**2 + own) / (2.0 * caps)).sum())
+
+
+def ordinal_potential_symmetric(
+    game: UncertainRoutingGame, assignment: AssignmentLike
+) -> float:
+    """An ordinal potential for the *symmetric users* case — a result this
+    reproduction adds on top of the paper.
+
+    With equal weights ``w`` let ``k_l`` be the number of users on link
+    ``l`` and define
+
+        Phi(sigma) = sum_l log(k_l!) - sum_i log C[i, sigma_i].
+
+    For a unilateral move of user ``i`` from ``a`` to ``b``::
+
+        Delta Phi = log(k_b + 1) - log(k_a) - (log C[i,b] - log C[i,a])
+                  = log lambda_i(after) - log lambda_i(before),
+
+    because ``lambda = w k / C`` and the common weight cancels. So Phi
+    strictly decreases exactly on strictly improving moves: the
+    symmetric-user game has the finite improvement property, and Monien's
+    improvement cycle (Section 3.2) necessarily involves *unequal*
+    weights.
+
+    Requires zero initial traffic (loads must be pure counts).
+    """
+    from scipy.special import gammaln
+
+    if not game.has_symmetric_users():
+        raise AlgorithmDomainError(
+            "the ordinal potential requires symmetric users (equal weights)"
+        )
+    if np.any(game.initial_traffic > 0):
+        raise AlgorithmDomainError(
+            "the ordinal potential requires zero initial traffic"
+        )
+    sigma = as_assignment(assignment, game.num_users, game.num_links)
+    counts = np.bincount(sigma, minlength=game.num_links)
+    log_factorials = float(gammaln(counts + 1.0).sum())
+    users = np.arange(game.num_users)
+    return log_factorials - float(np.log(game.capacities[users, sigma]).sum())
+
+
+def verify_ordinal_potential_symmetric(
+    game: UncertainRoutingGame,
+    assignment: AssignmentLike,
+    user: int,
+    new_link: int,
+    *,
+    rtol: float = 1e-9,
+) -> bool:
+    """Check ``Delta Phi = log lambda_after - log lambda_before`` for one move."""
+    sigma = as_assignment(assignment, game.num_users, game.num_links).copy()
+    phi_before = ordinal_potential_symmetric(game, sigma)
+    lat_before = pure_latency_of_user(game, sigma, user)
+    sigma[user] = new_link
+    phi_after = ordinal_potential_symmetric(game, sigma)
+    lat_after = pure_latency_of_user(game, sigma, user)
+    lhs = phi_after - phi_before
+    rhs = np.log(lat_after) - np.log(lat_before)
+    scale = max(abs(lhs), abs(rhs), 1.0)
+    return abs(lhs - rhs) <= rtol * scale
+
+
+def verify_weighted_potential(
+    game: UncertainRoutingGame,
+    assignment: AssignmentLike,
+    user: int,
+    new_link: int,
+    *,
+    rtol: float = 1e-9,
+) -> bool:
+    """Check ``Delta Phi = w_i * Delta lambda_i`` for one unilateral move."""
+    sigma = as_assignment(assignment, game.num_users, game.num_links).copy()
+    phi_before = weighted_potential_common_beliefs(game, sigma)
+    lat_before = pure_latency_of_user(game, sigma, user)
+    sigma[user] = new_link
+    phi_after = weighted_potential_common_beliefs(game, sigma)
+    lat_after = pure_latency_of_user(game, sigma, user)
+    lhs = phi_after - phi_before
+    rhs = game.weights[user] * (lat_after - lat_before)
+    scale = max(abs(lhs), abs(rhs), 1.0)
+    return abs(lhs - rhs) <= rtol * scale

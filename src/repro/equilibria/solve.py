@@ -1,0 +1,104 @@
+"""One-stop pure-NE solver with special-case dispatch.
+
+:func:`solve_pure_nash` routes a game to the cheapest applicable method,
+mirroring Section 3's structure:
+
+1. ``m == 2``              -> ``Atwolinks``        (Theorem 3.3, O(n^2));
+2. uniform user beliefs    -> ``Auniform``         (Theorem 3.6);
+3. symmetric users (t = 0) -> ``Asymmetric``       (Theorem 3.5);
+4. otherwise               -> best-response dynamics with restarts, and —
+   for small games — an exhaustive enumeration fallback.
+
+Step 4 has no termination guarantee in theory (the general existence
+question is exactly Conjecture 3.7), but the paper's simulations — and
+this library's large regression campaign (experiment E5) — never found an
+instance without a pure NE, nor one where restarted dynamics failed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NoEquilibriumError
+from repro.model.game import UncertainRoutingGame
+from repro.model.profiles import PureProfile
+from repro.equilibria.best_response import best_response_dynamics
+from repro.equilibria.conditions import is_pure_nash
+from repro.equilibria.enumeration import pure_nash_profiles
+from repro.equilibria.symmetric import asymmetric
+from repro.equilibria.two_links import atwolinks
+from repro.equilibria.uniform import auniform
+from repro.util.rng import RandomState, as_generator
+
+__all__ = ["SolveReport", "solve_pure_nash"]
+
+
+@dataclass(frozen=True)
+class SolveReport:
+    """A pure NE together with the method that produced it."""
+
+    profile: PureProfile
+    method: str
+
+    def __iter__(self):
+        return iter((self.profile, self.method))
+
+
+def solve_pure_nash(
+    game: UncertainRoutingGame,
+    *,
+    restarts: int = 32,
+    max_steps: int = 200_000,
+    seed: RandomState = None,
+    verify: bool = True,
+) -> SolveReport:
+    """Compute a pure Nash equilibrium of *game*.
+
+    Raises :class:`~repro.errors.NoEquilibriumError` only when every
+    method fails — for a small game that includes an exhaustive sweep, so
+    the exception would constitute a counterexample to Conjecture 3.7.
+    """
+    import numpy as np
+
+    profile: PureProfile | None = None
+    method = ""
+    if game.num_links == 2:
+        profile, method = atwolinks(game), "atwolinks"
+    elif game.has_uniform_beliefs():
+        profile, method = auniform(game), "auniform"
+    elif game.has_symmetric_users() and not np.any(game.initial_traffic > 0):
+        profile, method = asymmetric(game), "asymmetric"
+
+    if profile is not None:
+        if verify and not is_pure_nash(game, profile):
+            raise NoEquilibriumError(
+                f"{method} returned a non-equilibrium profile — "
+                "this indicates a bug, please report it"
+            )
+        return SolveReport(profile, method)
+
+    rng = as_generator(seed)
+    for attempt in range(max(restarts, 1)):
+        schedule = "round_robin" if attempt % 2 == 0 else "max_regret"
+        result = best_response_dynamics(
+            game,
+            start=None,
+            schedule=schedule,
+            max_steps=max_steps,
+            seed=rng,
+        )
+        if result.converged:
+            return SolveReport(result.profile, f"brd[{schedule}]")
+
+    if game.num_links**game.num_users <= 500_000:
+        equilibria = pure_nash_profiles(game)
+        if equilibria:
+            return SolveReport(equilibria[0], "enumeration")
+        raise NoEquilibriumError(
+            "exhaustive enumeration found no pure Nash equilibrium: "
+            "this instance is a counterexample to Conjecture 3.7"
+        )
+    raise NoEquilibriumError(
+        f"best-response dynamics failed to converge in {restarts} restarts "
+        "and the game is too large for exhaustive enumeration"
+    )

@@ -1,0 +1,89 @@
+"""Structure of the Nash-equilibrium set of a game.
+
+The paper studies single equilibria (a pure one, the fully mixed one);
+this module looks at the whole set, which several of its open questions
+implicitly range over — how many pure equilibria exist, what supports the
+mixed ones use, whether the fully mixed point closes the lattice. Used by
+the extended analyses and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.game import UncertainRoutingGame
+from repro.model.profiles import MixedProfile, PureProfile
+from repro.model.social import sc1, sc2
+from repro.equilibria.enumeration import pure_nash_profiles
+from repro.equilibria.fully_mixed import fully_mixed_candidate
+from repro.equilibria.support_enum import enumerate_mixed_nash
+
+__all__ = ["EquilibriumSet", "equilibrium_set"]
+
+
+@dataclass
+class EquilibriumSet:
+    """Complete equilibrium census of a small game."""
+
+    game: UncertainRoutingGame
+    pure: list[PureProfile] = field(default_factory=list)
+    mixed: list[MixedProfile] = field(default_factory=list)
+    fully_mixed_exists: bool = False
+
+    @property
+    def num_pure(self) -> int:
+        return len(self.pure)
+
+    @property
+    def num_strictly_mixed(self) -> int:
+        return sum(1 for eq in self.mixed if not eq.is_pure(atol=1e-9))
+
+    def support_size_histogram(self) -> dict[int, int]:
+        """How many equilibria use supports of each total size.
+
+        Total size ``n`` means pure; ``n * m`` means fully mixed.
+        """
+        hist: dict[int, int] = {}
+        for eq in self.mixed:
+            total = int(sum(len(eq.support_of(i)) for i in range(eq.num_users)))
+            hist[total] = hist.get(total, 0) + 1
+        return hist
+
+    def cost_range_sc1(self) -> tuple[float, float]:
+        """(best, worst) SC1 over all equilibria."""
+        values = [sc1(self.game, eq) for eq in self.mixed]
+        return (min(values), max(values))
+
+    def cost_range_sc2(self) -> tuple[float, float]:
+        values = [sc2(self.game, eq) for eq in self.mixed]
+        return (min(values), max(values))
+
+    def worst_equilibrium(self, objective: str = "sum") -> MixedProfile:
+        """The social-cost-maximising equilibrium (Section 4's object)."""
+        cost = sc1 if objective == "sum" else sc2
+        return max(self.mixed, key=lambda eq: cost(self.game, eq))
+
+    def best_equilibrium(self, objective: str = "sum") -> MixedProfile:
+        cost = sc1 if objective == "sum" else sc2
+        return min(self.mixed, key=lambda eq: cost(self.game, eq))
+
+
+def equilibrium_set(game: UncertainRoutingGame) -> EquilibriumSet:
+    """Census the equilibria of a small game.
+
+    Pure equilibria come from the exhaustive sweep; mixed ones from
+    support enumeration (which re-finds the pure ones — they are kept in
+    ``mixed`` too so cost ranges cover everything); the fully mixed flag
+    from the Theorem 4.6 closed form.
+    """
+    pure = pure_nash_profiles(game)
+    mixed = enumerate_mixed_nash(game)
+    cand = fully_mixed_candidate(game)
+    return EquilibriumSet(
+        game=game,
+        pure=pure,
+        mixed=mixed,
+        fully_mixed_exists=cand.exists,
+    )

@@ -1,0 +1,115 @@
+"""Experiments E10-E12: price-of-anarchy bounds and the Milchtaich contrast.
+
+* E10 — Theorem 4.13: the uniform-beliefs coordination-ratio bound
+  dominates the empirical worst equilibrium ratio on every instance.
+* E11 — Theorem 4.14: the general bound likewise.
+* E12 — Section 1 + [17]: player-specific games admit no-PNE witnesses;
+  multiplicative (our-model) instances sampled identically all have PNE.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.poa import poa_study
+from repro.experiments.base import ExperimentResult
+from repro.generators.suites import GridCell, poa_grid
+from repro.substrates.milchtaich import (
+    canonical_counterexample,
+    multiplicative_pne_sweep,
+    search_no_pne_instance,
+)
+from repro.util.tables import Table
+
+__all__ = ["run_e10", "run_e11", "run_e12"]
+
+
+def _poa_result(
+    experiment_id: str,
+    title: str,
+    *,
+    uniform_beliefs: bool,
+    quick: bool,
+) -> ExperimentResult:
+    if quick:
+        grid = [GridCell(n, m, 6) for (n, m) in [(3, 2), (4, 3), (5, 2)]]
+    else:
+        grid = list(poa_grid())
+    observations = poa_study(grid, uniform_beliefs=uniform_beliefs, label=experiment_id)
+    table = Table(
+        ["n", "m", "worst SC1/OPT1", "worst SC2/OPT2", "bound", "holds"],
+        title=f"{experiment_id} — empirical ratio vs theorem bound",
+    )
+    # Aggregate per cell: worst observed ratio, tightest bound seen.
+    passed = True
+    by_cell: dict[tuple[int, int], list] = {}
+    for obs in observations:
+        by_cell.setdefault((obs.num_users, obs.num_links), []).append(obs)
+    for (n, m), cell_obs in sorted(by_cell.items()):
+        worst1 = max(o.ratio_sc1 for o in cell_obs)
+        worst2 = max(o.ratio_sc2 for o in cell_obs)
+        min_bound = min(o.bound for o in cell_obs)
+        holds = all(o.bound_holds() for o in cell_obs)
+        passed = passed and holds
+        table.add_row([n, m, worst1, worst2, min_bound, "yes" if holds else "NO"])
+    return ExperimentResult(
+        experiment_id,
+        title,
+        passed=passed,
+        tables=[table],
+        details={"observations": len(observations)},
+    )
+
+
+def run_e10(*, quick: bool = False) -> ExperimentResult:
+    """E10 — Theorem 4.13 bound under uniform beliefs."""
+    return _poa_result(
+        "E10",
+        "Theorem 4.13 — PoA bound, uniform user beliefs",
+        uniform_beliefs=True,
+        quick=quick,
+    )
+
+
+def run_e11(*, quick: bool = False) -> ExperimentResult:
+    """E11 — Theorem 4.14 bound in the general case."""
+    return _poa_result(
+        "E11",
+        "Theorem 4.14 — PoA bound, general case",
+        uniform_beliefs=False,
+        quick=quick,
+    )
+
+
+def run_e12(*, quick: bool = False) -> ExperimentResult:
+    """E12 — Milchtaich separation: no-PNE witness vs multiplicative sweep."""
+    report = canonical_counterexample()
+    witness_ok = report.verify()
+    searched_tries = None
+    if not quick:
+        # Also re-derive a witness from scratch with the exact search.
+        try:
+            searched = search_no_pne_instance(
+                time_budget=150.0, restart_budget=6.0, seed=2
+            )
+            searched_tries = searched.tries
+        except Exception:
+            searched_tries = -1  # budget ran out; canonical witness suffices
+    sweep_n = 50 if quick else 300
+    hits = multiplicative_pne_sweep(num_instances=sweep_n, seed=7)
+    table = Table(["check", "result"], title="E12 — player-specific separation")
+    table.add_row(["stored witness verified (27 profiles, none NE)", witness_ok])
+    if searched_tries is not None:
+        table.add_row(
+            ["fresh witness re-derived by constraint search (restarts)",
+             searched_tries if searched_tries > 0 else "timeout"]
+        )
+    table.add_row(
+        [f"multiplicative instances with PNE (of {sweep_n})", hits]
+    )
+    passed = witness_ok and hits == sweep_n
+    return ExperimentResult(
+        "E12",
+        "[17] contrast — player-specific games lack PNE, our model's do not",
+        passed=passed,
+        tables=[table],
+        details={"witness_verified": witness_ok, "sweep_hits": hits, "sweep_total": sweep_n},
+    )

@@ -1,0 +1,47 @@
+"""Registry mapping experiment ids to runners (the per-experiment index)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.algorithms import run_e1, run_e2, run_e3, run_e4
+from repro.experiments.anarchy import run_e10, run_e11, run_e12
+from repro.experiments.base import ExperimentResult
+from repro.experiments.campaign import run_e5, run_e6
+from repro.experiments.mixed import run_e7, run_e8, run_e9
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+Runner = Callable[..., ExperimentResult]
+
+#: Experiment id -> (title, runner). Mirrors the DESIGN.md experiment index.
+EXPERIMENTS: dict[str, tuple[str, Runner]] = {
+    "E1": ("Figure 1 / Thm 3.3 — Atwolinks", run_e1),
+    "E2": ("Figure 2 / Thm 3.5 — Asymmetric", run_e2),
+    "E3": ("Figure 3 / Thm 3.6 — Auniform", run_e3),
+    "E4": ("Section 3.1 — n=3 existence", run_e4),
+    "E5": ("Section 3.2 — Conjecture 3.7 campaign", run_e5),
+    "E6": ("Section 3.2 — no exact/ordinal potential", run_e6),
+    "E7": ("Theorem 4.6 — FMNE closed form & uniqueness", run_e7),
+    "E8": ("Theorem 4.8 — uniform beliefs => p=1/m", run_e8),
+    "E9": ("Lemma 4.9 / Thms 4.11-4.12 — FMNE dominance", run_e9),
+    "E10": ("Theorem 4.13 — PoA bound (uniform beliefs)", run_e10),
+    "E11": ("Theorem 4.14 — PoA bound (general)", run_e11),
+    "E12": ("[17] contrast — Milchtaich separation", run_e12),
+}
+
+
+def get_experiment(experiment_id: str) -> Runner:
+    """The runner for *experiment_id* (KeyError with guidance otherwise)."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; valid ids: "
+            f"{', '.join(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key][1]
+
+
+def run_experiment(experiment_id: str, *, quick: bool = False) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id)(quick=quick)

@@ -1,0 +1,29 @@
+"""Reproducible random-instance generators and named workload suites."""
+
+from repro.generators.games import (
+    random_game,
+    random_kp_game,
+    random_symmetric_game,
+    random_two_link_game,
+    random_uniform_beliefs_game,
+    random_weights,
+)
+from repro.generators.suites import (
+    conjecture_grid,
+    poa_grid,
+    scaling_sizes,
+    small_verification_grid,
+)
+
+__all__ = [
+    "random_game",
+    "random_kp_game",
+    "random_symmetric_game",
+    "random_two_link_game",
+    "random_uniform_beliefs_game",
+    "random_weights",
+    "conjecture_grid",
+    "poa_grid",
+    "scaling_sizes",
+    "small_verification_grid",
+]

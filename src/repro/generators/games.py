@@ -1,0 +1,157 @@
+"""Random game generators.
+
+Every generator is deterministic given a seed and exposes the knobs the
+experiments sweep: number of users/links/states, belief concentration
+(how confident users are), weight distribution, and capacity spread.
+These are the synthetic stand-ins for the paper's unspecified "numerous
+instances" (Section 3.2); DESIGN.md records the substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.beliefs import BeliefProfile
+from repro.model.game import UncertainRoutingGame
+from repro.model.state import StateSpace
+from repro.util.rng import RandomState, as_generator
+
+__all__ = [
+    "random_weights",
+    "random_game",
+    "random_two_link_game",
+    "random_symmetric_game",
+    "random_uniform_beliefs_game",
+    "random_kp_game",
+]
+
+WeightKind = Literal["uniform", "exponential", "lognormal", "integer"]
+
+
+def random_weights(
+    num_users: int,
+    *,
+    kind: WeightKind = "uniform",
+    seed: RandomState = None,
+) -> np.ndarray:
+    """Sample a strictly positive traffic vector.
+
+    ``uniform`` draws from [0.5, 4); ``exponential`` gives heavy one-sided
+    skew; ``lognormal`` gives multiplicative spread (elephant/mice mixes);
+    ``integer`` draws small integers (needed by the player-specific
+    substrate embedding).
+    """
+    rng = as_generator(seed)
+    if num_users < 2:
+        raise ModelError("num_users must be >= 2")
+    if kind == "uniform":
+        return rng.uniform(0.5, 4.0, size=num_users)
+    if kind == "exponential":
+        return rng.exponential(1.0, size=num_users) + 0.05
+    if kind == "lognormal":
+        return rng.lognormal(mean=0.0, sigma=0.75, size=num_users)
+    if kind == "integer":
+        return rng.integers(1, 6, size=num_users).astype(np.float64)
+    raise ModelError(f"unknown weight kind {kind!r}")
+
+
+def random_game(
+    num_users: int,
+    num_links: int,
+    *,
+    num_states: int = 4,
+    concentration: float = 1.0,
+    weight_kind: WeightKind = "uniform",
+    cap_low: float = 0.5,
+    cap_high: float = 4.0,
+    with_initial_traffic: bool = False,
+    seed: RandomState = None,
+) -> UncertainRoutingGame:
+    """A generic instance: random states, Dirichlet beliefs, random weights."""
+    rng = as_generator(seed)
+    states = StateSpace.random(
+        num_states, num_links, low=cap_low, high=cap_high, seed=rng
+    )
+    beliefs = BeliefProfile.random(
+        states, num_users, concentration=concentration, seed=rng
+    )
+    weights = random_weights(num_users, kind=weight_kind, seed=rng)
+    initial = rng.uniform(0.0, 2.0, size=num_links) if with_initial_traffic else None
+    return UncertainRoutingGame(weights, beliefs, initial_traffic=initial)
+
+
+def random_two_link_game(
+    num_users: int,
+    *,
+    with_initial_traffic: bool = False,
+    seed: RandomState = None,
+    **kwargs,
+) -> UncertainRoutingGame:
+    """The E1 workload: arbitrary beliefs on m = 2 links, optional ``t``."""
+    return random_game(
+        num_users,
+        2,
+        with_initial_traffic=with_initial_traffic,
+        seed=seed,
+        **kwargs,
+    )
+
+
+def random_symmetric_game(
+    num_users: int,
+    num_links: int,
+    *,
+    weight: float = 1.0,
+    num_states: int = 4,
+    concentration: float = 1.0,
+    seed: RandomState = None,
+) -> UncertainRoutingGame:
+    """The E2 workload: identical weights, arbitrary private beliefs."""
+    if weight <= 0:
+        raise ModelError("weight must be positive")
+    rng = as_generator(seed)
+    states = StateSpace.random(num_states, num_links, seed=rng)
+    beliefs = BeliefProfile.random(
+        states, num_users, concentration=concentration, seed=rng
+    )
+    return UncertainRoutingGame(np.full(num_users, weight), beliefs)
+
+
+def random_uniform_beliefs_game(
+    num_users: int,
+    num_links: int,
+    *,
+    weight_kind: WeightKind = "uniform",
+    with_initial_traffic: bool = False,
+    seed: RandomState = None,
+) -> UncertainRoutingGame:
+    """The E3 workload: each user sees all links equally fast.
+
+    Built directly in reduced form: user ``i``'s effective capacity is a
+    single per-user constant ``c_i`` replicated across links.
+    """
+    rng = as_generator(seed)
+    weights = random_weights(num_users, kind=weight_kind, seed=rng)
+    per_user = rng.uniform(0.5, 4.0, size=num_users)
+    caps = np.repeat(per_user[:, None], num_links, axis=1)
+    initial = rng.uniform(0.0, 2.0, size=num_links) if with_initial_traffic else None
+    return UncertainRoutingGame.from_capacities(
+        weights, caps, initial_traffic=initial
+    )
+
+
+def random_kp_game(
+    num_users: int,
+    num_links: int,
+    *,
+    weight_kind: WeightKind = "uniform",
+    seed: RandomState = None,
+) -> UncertainRoutingGame:
+    """A classic KP instance (single certain state, common belief)."""
+    rng = as_generator(seed)
+    weights = random_weights(num_users, kind=weight_kind, seed=rng)
+    caps = rng.uniform(0.5, 4.0, size=num_links)
+    return UncertainRoutingGame.kp(weights, caps)

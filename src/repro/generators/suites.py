@@ -1,0 +1,74 @@
+"""Named workload suites — the parameter grids the experiments sweep.
+
+Collecting the grids here keeps benchmarks, experiments and tests in sync:
+when EXPERIMENTS.md reports "the E5 campaign covers the grid below", this
+module *is* that grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "GridCell",
+    "conjecture_grid",
+    "small_verification_grid",
+    "poa_grid",
+    "scaling_sizes",
+]
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One cell of an (n, m) sweep with its replication count."""
+
+    num_users: int
+    num_links: int
+    replications: int
+
+
+def conjecture_grid(*, replications: int = 40) -> Iterator[GridCell]:
+    """The E5 campaign grid: exhaustively checkable (n, m) combinations.
+
+    Mirrors the paper's setting — "small number of users and links" — but
+    is explicit and seeded. ``m^n`` stays below ~60k states so existence
+    is *decided*, not sampled.
+    """
+    cells = [
+        (2, 2), (2, 3), (2, 4), (2, 5),
+        (3, 2), (3, 3), (3, 4), (3, 5),
+        (4, 2), (4, 3), (4, 4),
+        (5, 2), (5, 3), (5, 4),
+        (6, 2), (6, 3),
+        (7, 2), (7, 3),
+        (8, 2), (8, 3),
+        (10, 2),
+    ]
+    for n, m in cells:
+        yield GridCell(n, m, replications)
+
+
+def small_verification_grid(*, replications: int = 10) -> Iterator[GridCell]:
+    """Games small enough for support enumeration (E7/E9)."""
+    cells = [(2, 2), (2, 3), (3, 2), (3, 3), (4, 2)]
+    for n, m in cells:
+        yield GridCell(n, m, replications)
+
+
+def poa_grid(*, replications: int = 25) -> Iterator[GridCell]:
+    """The E10/E11 sweep: exact OPT via exhaustive search must be feasible."""
+    cells = [(2, 2), (3, 2), (3, 3), (4, 2), (4, 3), (5, 2), (5, 3), (6, 2)]
+    for n, m in cells:
+        yield GridCell(n, m, replications)
+
+
+def scaling_sizes(algorithm: str) -> list[int]:
+    """Problem sizes for the complexity fits of E1-E3."""
+    if algorithm == "atwolinks":
+        return [32, 64, 128, 256, 512, 1024]
+    if algorithm == "asymmetric":
+        return [16, 32, 64, 128, 256]
+    if algorithm == "auniform":
+        return [256, 512, 1024, 2048, 4096, 8192]
+    raise KeyError(f"unknown algorithm {algorithm!r}")

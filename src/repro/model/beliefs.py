@@ -1,0 +1,253 @@
+"""User beliefs over network states (Section 2 of the paper).
+
+A *belief* is a probability distribution over the states of a
+:class:`~repro.model.state.StateSpace`; a *belief profile* holds one belief
+per user. Beliefs are the source of the model's user-specific payoffs: the
+expected latency of user ``i`` on link ``l`` depends on the belief-weighted
+harmonic mean of the link's possible capacities,
+
+    c_i^l  =  1 / sum_phi  b_i(phi) / c_phi^l,
+
+the paper's "effective capacity". :meth:`BeliefProfile.effective_capacities`
+computes the full ``(n, m)`` matrix with a single matrix product.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import BeliefError, DimensionError
+from repro.model.state import StateSpace
+from repro.util.rng import RandomState, as_generator
+from repro.util.validation import check_probability_matrix, check_probability_vector
+
+__all__ = [
+    "Belief",
+    "BeliefProfile",
+    "point_mass_belief",
+    "uniform_belief",
+    "dirichlet_belief",
+    "common_belief_profile",
+]
+
+
+class Belief:
+    """A probability distribution over the states of one state space."""
+
+    __slots__ = ("_probs",)
+
+    def __init__(self, probabilities: Sequence[float] | np.ndarray) -> None:
+        self._probs = check_probability_vector(probabilities, name="belief")
+        self._probs.setflags(write=False)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Read-only probability vector over states."""
+        return self._probs
+
+    @property
+    def num_states(self) -> int:
+        return self._probs.size
+
+    def probability_of(self, state_index: int) -> float:
+        """``b(phi)`` for state index *phi*."""
+        return float(self._probs[state_index])
+
+    def support(self) -> np.ndarray:
+        """Indices of states with strictly positive probability."""
+        return np.flatnonzero(self._probs > 0.0)
+
+    def is_point_mass(self) -> bool:
+        """True when the belief is certain about a single state."""
+        return bool(np.max(self._probs) == 1.0)
+
+    def expected_inverse_capacities(self, states: StateSpace) -> np.ndarray:
+        """``sum_phi b(phi) / c_phi^l`` for every link ``l``."""
+        if states.num_states != self.num_states:
+            raise DimensionError(
+                f"belief over {self.num_states} states applied to a space "
+                f"with {states.num_states} states"
+            )
+        return self._probs @ (1.0 / states.capacities)
+
+    def effective_capacities(self, states: StateSpace) -> np.ndarray:
+        """The paper's ``c_i^l`` vector: belief-harmonic capacity per link."""
+        return 1.0 / self.expected_inverse_capacities(states)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Belief):
+            return NotImplemented
+        return bool(np.array_equal(self._probs, other._probs))
+
+    def __hash__(self) -> int:
+        return hash(self._probs.tobytes())
+
+    def __repr__(self) -> str:
+        return f"Belief({np.array2string(self._probs, precision=4)})"
+
+
+# ---------------------------------------------------------------------- #
+# belief factories
+# ---------------------------------------------------------------------- #
+
+
+def point_mass_belief(num_states: int, state_index: int) -> Belief:
+    """Belief certain that state *state_index* holds (the KP-model case)."""
+    if not 0 <= state_index < num_states:
+        raise BeliefError(
+            f"state_index {state_index} out of range for {num_states} states"
+        )
+    probs = np.zeros(num_states)
+    probs[state_index] = 1.0
+    return Belief(probs)
+
+
+def uniform_belief(num_states: int) -> Belief:
+    """Maximum-entropy belief: every state equally likely."""
+    if num_states < 1:
+        raise BeliefError("num_states must be >= 1")
+    return Belief(np.full(num_states, 1.0 / num_states))
+
+
+def dirichlet_belief(
+    num_states: int,
+    *,
+    concentration: float = 1.0,
+    seed: RandomState = None,
+) -> Belief:
+    """Sample a belief from a symmetric Dirichlet distribution.
+
+    ``concentration -> 0`` approaches point masses (confident users);
+    ``concentration -> inf`` approaches the uniform belief (ignorant users).
+    """
+    if num_states < 1:
+        raise BeliefError("num_states must be >= 1")
+    if concentration <= 0:
+        raise BeliefError("concentration must be positive")
+    rng = as_generator(seed)
+    probs = rng.dirichlet(np.full(num_states, concentration))
+    # Dirichlet sampling can produce exact zeros for tiny concentration;
+    # nudge to keep the belief's support full, then renormalise.
+    probs = np.clip(probs, 1e-15, None)
+    return Belief(probs / probs.sum())
+
+
+class BeliefProfile:
+    """One belief per user over a shared state space (the paper's ``B``)."""
+
+    __slots__ = ("_states", "_matrix")
+
+    def __init__(self, states: StateSpace, beliefs: Sequence[Belief]) -> None:
+        beliefs = tuple(beliefs)
+        if not beliefs:
+            raise BeliefError("belief profile needs at least one user")
+        for i, b in enumerate(beliefs):
+            if b.num_states != states.num_states:
+                raise DimensionError(
+                    f"user {i} belief covers {b.num_states} states, "
+                    f"state space has {states.num_states}"
+                )
+        self._states = states
+        self._matrix = np.stack([b.probabilities for b in beliefs], axis=0)
+        self._matrix.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_matrix(
+        cls, states: StateSpace, matrix: Sequence[Sequence[float]] | np.ndarray
+    ) -> "BeliefProfile":
+        """Build from an ``(n, num_states)`` row-stochastic matrix."""
+        mat = check_probability_matrix(matrix, name="belief matrix")
+        if mat.shape[1] != states.num_states:
+            raise DimensionError(
+                f"belief matrix has {mat.shape[1]} columns for a space "
+                f"with {states.num_states} states"
+            )
+        return cls(states, [Belief(row) for row in mat])
+
+    @classmethod
+    def random(
+        cls,
+        states: StateSpace,
+        num_users: int,
+        *,
+        concentration: float = 1.0,
+        seed: RandomState = None,
+    ) -> "BeliefProfile":
+        """Independent Dirichlet beliefs for *num_users* users."""
+        rng = as_generator(seed)
+        beliefs = [
+            dirichlet_belief(states.num_states, concentration=concentration, seed=rng)
+            for _ in range(num_users)
+        ]
+        return cls(states, beliefs)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def states(self) -> StateSpace:
+        return self._states
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Read-only ``(n, num_states)`` belief matrix."""
+        return self._matrix
+
+    @property
+    def num_users(self) -> int:
+        return self._matrix.shape[0]
+
+    def belief_of(self, user: int) -> Belief:
+        return Belief(self._matrix[user])
+
+    def __len__(self) -> int:
+        return self.num_users
+
+    def __iter__(self) -> Iterable[Belief]:
+        return (Belief(row) for row in self._matrix)
+
+    # ------------------------------------------------------------------ #
+    # semantics
+    # ------------------------------------------------------------------ #
+
+    def effective_capacities(self) -> np.ndarray:
+        """The ``(n, m)`` matrix ``C[i, l] = c_i^l`` of effective capacities.
+
+        One matmul: ``B @ (1/caps)`` gives the expected inverse capacities,
+        whose reciprocal is the belief-harmonic effective capacity.
+        """
+        inv = self._matrix @ (1.0 / self._states.capacities)
+        return 1.0 / inv
+
+    def is_common(self, *, atol: float = 1e-12) -> bool:
+        """True when all users share the same belief."""
+        return bool(np.all(np.abs(self._matrix - self._matrix[0]) <= atol))
+
+    def is_kp(self, *, atol: float = 1e-12) -> bool:
+        """True when the profile collapses to the KP-model: all users put
+        probability one on the same state."""
+        if not self.is_common(atol=atol):
+            return False
+        return bool(np.max(self._matrix[0]) >= 1.0 - atol)
+
+    def __repr__(self) -> str:
+        return (
+            f"BeliefProfile(num_users={self.num_users}, "
+            f"num_states={self._states.num_states})"
+        )
+
+
+def common_belief_profile(
+    states: StateSpace, num_users: int, belief: Belief
+) -> BeliefProfile:
+    """All *num_users* users share *belief* (complete-information limit)."""
+    if num_users < 1:
+        raise BeliefError("num_users must be >= 1")
+    return BeliefProfile(states, [belief] * num_users)

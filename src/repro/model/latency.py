@@ -1,0 +1,134 @@
+"""The latency engine — vectorised implementations of Section 2's costs.
+
+All computations reduce to the game's ``(n, m)`` effective-capacity matrix
+``C`` (see :mod:`repro.model.game`):
+
+* pure profile ``sigma``:  ``lambda_i(sigma) = (t_l + load_l(sigma)) / C[i, l]``
+  with ``l = sigma_i`` — the belief-expected latency of user ``i``;
+* mixed profile ``P``:     ``lambda^l_i(P) = ((1 - P[i,l]) w_i + t_l + W^l) / C[i, l]``
+  with ``W^l = sum_k P[k, l] w_k`` — expectation over states *and* the
+  random choices of the other users.
+
+The per-state latencies ``lambda_{i,phi}`` are also provided so tests can
+verify the reduction ``E_b[ load / c_phi ] = load / c_eff`` directly.
+
+Everything is NumPy-vectorised; no Python loops over users or links.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.game import UncertainRoutingGame
+from repro.model.profiles import (
+    AssignmentLike,
+    MixedLike,
+    as_assignment,
+    as_mixed_matrix,
+    loads_of,
+)
+
+__all__ = [
+    "pure_latencies",
+    "pure_latency_of_user",
+    "pure_latencies_by_state",
+    "deviation_latencies",
+    "mixed_latency_matrix",
+    "min_expected_latencies",
+    "expected_link_latencies",
+    "expected_loads",
+]
+
+
+def pure_latencies(game: UncertainRoutingGame, assignment: AssignmentLike) -> np.ndarray:
+    """Belief-expected latency of every user under a pure profile.
+
+    Returns the length-``n`` vector ``lambda_{i, b_i}(sigma)``.
+    """
+    sigma = as_assignment(assignment, game.num_users, game.num_links)
+    loads = loads_of(sigma, game.weights, game.num_links, game.initial_traffic)
+    users = np.arange(game.num_users)
+    return loads[sigma] / game.capacities[users, sigma]
+
+
+def pure_latency_of_user(
+    game: UncertainRoutingGame, assignment: AssignmentLike, user: int
+) -> float:
+    """``lambda_{user, b_user}(sigma)`` for a single user."""
+    sigma = as_assignment(assignment, game.num_users, game.num_links)
+    loads = loads_of(sigma, game.weights, game.num_links, game.initial_traffic)
+    link = int(sigma[user])
+    return float(loads[link] / game.capacities[user, link])
+
+
+def pure_latencies_by_state(
+    game: UncertainRoutingGame, assignment: AssignmentLike
+) -> np.ndarray:
+    """The raw per-state latencies ``lambda_{i, phi}(sigma)``.
+
+    Returns an ``(n, num_states)`` matrix; its belief-weighted row averages
+    equal :func:`pure_latencies` (the identity the reduced form rests on).
+    """
+    sigma = as_assignment(assignment, game.num_users, game.num_links)
+    loads = loads_of(sigma, game.weights, game.num_links, game.initial_traffic)
+    caps = game.beliefs.states.capacities  # (num_states, m)
+    # latency of user i in state phi = loads[sigma_i] / caps[phi, sigma_i]
+    return loads[sigma][:, None] / caps[:, sigma].T
+
+
+def deviation_latencies(
+    game: UncertainRoutingGame, assignment: AssignmentLike
+) -> np.ndarray:
+    """The ``(n, m)`` matrix of *hypothetical* latencies under a pure profile.
+
+    Entry ``(i, l)`` is the belief-expected latency user ``i`` would incur
+    by unilaterally routing on link ``l`` while everyone else stays put:
+
+    * on the current link it equals the current latency;
+    * on any other link it is ``(t_l + load_l + w_i) / C[i, l]``.
+
+    This matrix drives Nash checks and best-response computations: user
+    ``i`` is satisfied iff its row attains its minimum at ``sigma_i``.
+    """
+    sigma = as_assignment(assignment, game.num_users, game.num_links)
+    loads = loads_of(sigma, game.weights, game.num_links, game.initial_traffic)
+    n = game.num_users
+    users = np.arange(n)
+    # load seen by user i on link l if it moves there: current load + w_i,
+    # except on its own link where w_i is already counted.
+    seen = loads[None, :] + game.weights[:, None]
+    seen[users, sigma] -= game.weights
+    return seen / game.capacities
+
+
+def expected_loads(game: UncertainRoutingGame, mixed: MixedLike) -> np.ndarray:
+    """``W^l + t_l`` — expected traffic per link under a mixed profile."""
+    p = as_mixed_matrix(mixed, game.num_users, game.num_links)
+    return p.T @ game.weights + game.initial_traffic
+
+
+def mixed_latency_matrix(game: UncertainRoutingGame, mixed: MixedLike) -> np.ndarray:
+    """The ``(n, m)`` matrix ``lambda^l_{i, b_i}(P)`` of Section 2.
+
+    ``lambda^l_i = ((1 - P[i, l]) w_i + t_l + W^l) / C[i, l]`` where
+    ``W^l`` is the expected traffic of the *other* users plus user ``i``'s
+    own contribution, so subtracting ``P[i, l] w_i`` removes the
+    double-count of ``i``'s expected presence.
+    """
+    p = as_mixed_matrix(mixed, game.num_users, game.num_links)
+    w_link = p.T @ game.weights + game.initial_traffic  # (m,)
+    numer = (1.0 - p) * game.weights[:, None] + w_link[None, :]
+    return numer / game.capacities
+
+
+def expected_link_latencies(
+    game: UncertainRoutingGame, mixed: MixedLike
+) -> np.ndarray:
+    """Alias of :func:`mixed_latency_matrix` kept for symmetry with the
+    paper's notation ``lambda^l_{i,b_i}(P)``."""
+    return mixed_latency_matrix(game, mixed)
+
+
+def min_expected_latencies(game: UncertainRoutingGame, mixed: MixedLike) -> np.ndarray:
+    """``lambda_{i, b_i}(P) = min_l lambda^l_{i, b_i}(P)`` per user (eq. 1)."""
+    return mixed_latency_matrix(game, mixed).min(axis=1)

@@ -1,0 +1,223 @@
+"""Pure and mixed strategy profiles.
+
+A *pure profile* assigns each user one link: an integer vector of length
+``n`` with entries in ``[0, m)``. A *mixed profile* is an ``(n, m)``
+row-stochastic matrix ``P`` with ``P[i, l]`` the probability that user
+``i`` routes on link ``l`` (the paper's probability matrix).
+
+Both are thin wrappers over NumPy arrays so that the latency engine and
+the equilibrium solvers can operate on raw arrays; every function in the
+library also accepts plain arrays/sequences and normalises them through
+:func:`as_assignment` / :func:`as_mixed_matrix`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.errors import DimensionError, ModelError
+from repro.util.validation import check_probability_matrix
+
+__all__ = [
+    "PureProfile",
+    "MixedProfile",
+    "AssignmentLike",
+    "MixedLike",
+    "as_assignment",
+    "as_mixed_matrix",
+    "loads_of",
+    "pure_to_mixed",
+    "profile_from_support_sets",
+]
+
+
+class PureProfile:
+    """An immutable pure strategies profile ``<l_1, ..., l_n>``."""
+
+    __slots__ = ("_links",)
+
+    def __init__(self, links: Sequence[int] | np.ndarray, num_links: int) -> None:
+        # copy=True: the profile freezes its array, which must never alias
+        # a caller-owned buffer (dynamics mutate their working assignment).
+        arr = np.array(links, dtype=np.intp, copy=True)
+        if arr.ndim != 1:
+            raise DimensionError(f"assignment must be a vector, got shape {arr.shape}")
+        if arr.size == 0:
+            raise ModelError("assignment must cover at least one user")
+        if num_links < 1:
+            raise ModelError("num_links must be >= 1")
+        if np.any(arr < 0) or np.any(arr >= num_links):
+            raise ModelError(
+                f"assignment entries must lie in [0, {num_links}), got "
+                f"range [{int(arr.min())}, {int(arr.max())}]"
+            )
+        self._links = arr
+        self._links.setflags(write=False)
+
+    @property
+    def links(self) -> np.ndarray:
+        """Read-only link index per user."""
+        return self._links
+
+    @property
+    def num_users(self) -> int:
+        return self._links.size
+
+    def link_of(self, user: int) -> int:
+        return int(self._links[user])
+
+    def with_move(self, user: int, link: int, num_links: int) -> "PureProfile":
+        """The profile obtained when *user* unilaterally moves to *link*."""
+        links = self._links.copy()
+        links[user] = link
+        return PureProfile(links, num_links)
+
+    def users_on(self, link: int) -> np.ndarray:
+        """Indices of users currently routing on *link*."""
+        return np.flatnonzero(self._links == link)
+
+    def as_tuple(self) -> tuple[int, ...]:
+        return tuple(int(x) for x in self._links)
+
+    def __iter__(self) -> Iterable[int]:
+        return iter(self.as_tuple())
+
+    def __len__(self) -> int:
+        return self._links.size
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PureProfile):
+            return bool(np.array_equal(self._links, other._links))
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._links.tobytes())
+
+    def __repr__(self) -> str:
+        return f"PureProfile({self.as_tuple()})"
+
+
+class MixedProfile:
+    """An immutable mixed strategies profile — a row-stochastic matrix."""
+
+    __slots__ = ("_matrix",)
+
+    def __init__(self, matrix: Sequence[Sequence[float]] | np.ndarray) -> None:
+        self._matrix = check_probability_matrix(matrix, name="mixed profile")
+        self._matrix.setflags(write=False)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Read-only ``(n, m)`` probability matrix."""
+        return self._matrix
+
+    @property
+    def num_users(self) -> int:
+        return self._matrix.shape[0]
+
+    @property
+    def num_links(self) -> int:
+        return self._matrix.shape[1]
+
+    def support_of(self, user: int, *, atol: float = 1e-12) -> np.ndarray:
+        """Link indices played with positive probability by *user*."""
+        return np.flatnonzero(self._matrix[user] > atol)
+
+    def is_fully_mixed(self, *, atol: float = 1e-12) -> bool:
+        """True when every user assigns positive probability to every link."""
+        return bool(np.all(self._matrix > atol))
+
+    def is_pure(self, *, atol: float = 1e-12) -> bool:
+        """True when every row is (numerically) a point mass."""
+        return bool(np.all(np.max(self._matrix, axis=1) >= 1.0 - atol))
+
+    def to_pure(self, *, atol: float = 1e-12) -> PureProfile:
+        """Collapse a (numerically) pure matrix into a :class:`PureProfile`."""
+        if not self.is_pure(atol=atol):
+            raise ModelError("profile is not pure")
+        return PureProfile(np.argmax(self._matrix, axis=1), self.num_links)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MixedProfile):
+            return bool(np.array_equal(self._matrix, other._matrix))
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._matrix.tobytes())
+
+    def __repr__(self) -> str:
+        return f"MixedProfile(n={self.num_users}, m={self.num_links})"
+
+
+AssignmentLike = Union[PureProfile, Sequence[int], np.ndarray]
+MixedLike = Union[MixedProfile, Sequence[Sequence[float]], np.ndarray]
+
+
+def as_assignment(assignment: AssignmentLike, num_users: int, num_links: int) -> np.ndarray:
+    """Normalise *assignment* to a validated intp vector of length *num_users*."""
+    if isinstance(assignment, PureProfile):
+        arr = assignment.links
+    else:
+        arr = PureProfile(assignment, num_links).links
+    if arr.size != num_users:
+        raise DimensionError(
+            f"assignment covers {arr.size} users, game has {num_users}"
+        )
+    if np.any(arr >= num_links):
+        raise ModelError("assignment refers to a non-existent link")
+    return arr
+
+
+def as_mixed_matrix(mixed: MixedLike, num_users: int, num_links: int) -> np.ndarray:
+    """Normalise *mixed* to a validated ``(num_users, num_links)`` matrix."""
+    mat = mixed.matrix if isinstance(mixed, MixedProfile) else MixedProfile(mixed).matrix
+    if mat.shape != (num_users, num_links):
+        raise DimensionError(
+            f"mixed profile has shape {mat.shape}, expected {(num_users, num_links)}"
+        )
+    return mat
+
+
+def loads_of(
+    assignment: np.ndarray,
+    weights: np.ndarray,
+    num_links: int,
+    initial_traffic: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-link traffic induced by a pure assignment (plus initial traffic)."""
+    loads = np.bincount(assignment, weights=weights, minlength=num_links).astype(
+        np.float64, copy=False
+    )
+    if initial_traffic is not None:
+        loads = loads + initial_traffic
+    return loads
+
+
+def pure_to_mixed(assignment: AssignmentLike, num_users: int, num_links: int) -> MixedProfile:
+    """Embed a pure profile as a degenerate mixed profile (one-hot rows)."""
+    arr = as_assignment(assignment, num_users, num_links)
+    mat = np.zeros((num_users, num_links))
+    mat[np.arange(num_users), arr] = 1.0
+    return MixedProfile(mat)
+
+
+def profile_from_support_sets(
+    supports: Sequence[Sequence[int]],
+    probabilities: Sequence[Sequence[float]],
+    num_links: int,
+) -> MixedProfile:
+    """Assemble a mixed profile from per-user supports and support-local
+    probability vectors (used by the support-enumeration solver)."""
+    if len(supports) != len(probabilities):
+        raise DimensionError("supports and probabilities must align per user")
+    n = len(supports)
+    mat = np.zeros((n, num_links))
+    for i, (supp, probs) in enumerate(zip(supports, probabilities)):
+        supp_arr = np.asarray(supp, dtype=np.intp)
+        prob_arr = np.asarray(probs, dtype=np.float64)
+        if supp_arr.size != prob_arr.size:
+            raise DimensionError(f"user {i}: support and probabilities differ in size")
+        mat[i, supp_arr] = prob_arr
+    return MixedProfile(mat)

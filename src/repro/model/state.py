@@ -1,0 +1,178 @@
+"""Network states and state spaces (Section 2 of the paper).
+
+A *state* assigns a strictly positive capacity to each of the ``m``
+parallel links; the *state space* ``Phi`` is the finite set of states the
+network may realize. The paper models uncertainty about which state holds
+through per-user beliefs over ``Phi`` (see :mod:`repro.model.beliefs`).
+
+Internally a state space is a dense ``(num_states, m)`` float64 matrix —
+row ``phi`` is state ``phi``'s capacity vector — which lets the effective
+capacities of every (user, link) pair be computed with one matmul.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionError, ModelError
+from repro.util.rng import RandomState, as_generator
+from repro.util.validation import check_positive_array
+
+__all__ = ["StateSpace"]
+
+
+class StateSpace:
+    """A finite set of capacity states over ``m`` parallel links.
+
+    Parameters
+    ----------
+    capacities:
+        Array-like of shape ``(num_states, m)``; ``capacities[phi, l]`` is
+        the capacity of link ``l`` in state ``phi``. Must be strictly
+        positive.
+    names:
+        Optional human-readable state labels (e.g. ``"congested"``,
+        ``"failover"``); defaults to ``"phi0", "phi1", ...``.
+    """
+
+    __slots__ = ("_capacities", "_names")
+
+    def __init__(
+        self,
+        capacities: Sequence[Sequence[float]] | np.ndarray,
+        names: Sequence[str] | None = None,
+    ) -> None:
+        arr = check_positive_array(capacities, name="capacities", ndim=2)
+        if arr.shape[1] < 1:
+            raise ModelError("state space needs at least one link")
+        self._capacities = arr
+        self._capacities.setflags(write=False)
+        if names is None:
+            self._names = tuple(f"phi{i}" for i in range(arr.shape[0]))
+        else:
+            names = tuple(str(s) for s in names)
+            if len(names) != arr.shape[0]:
+                raise DimensionError(
+                    f"got {len(names)} names for {arr.shape[0]} states"
+                )
+            if len(set(names)) != len(names):
+                raise ModelError("state names must be unique")
+            self._names = names
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def single(cls, capacities: Sequence[float] | np.ndarray) -> "StateSpace":
+        """A degenerate (certain) state space with one state.
+
+        With a common point-mass belief this recovers the KP-model exactly.
+        """
+        arr = check_positive_array(capacities, name="capacities", ndim=1)
+        return cls(arr[None, :], names=("certain",))
+
+    @classmethod
+    def from_states(cls, states: Iterable[Sequence[float]]) -> "StateSpace":
+        """Build from an iterable of per-state capacity vectors."""
+        rows = [check_positive_array(s, name="state", ndim=1) for s in states]
+        if not rows:
+            raise ModelError("state space needs at least one state")
+        width = rows[0].size
+        for r in rows:
+            if r.size != width:
+                raise DimensionError("all states must have the same number of links")
+        return cls(np.stack(rows, axis=0))
+
+    @classmethod
+    def random(
+        cls,
+        num_states: int,
+        num_links: int,
+        *,
+        low: float = 0.5,
+        high: float = 4.0,
+        seed: RandomState = None,
+    ) -> "StateSpace":
+        """Sample a state space with capacities uniform in ``[low, high)``."""
+        if num_states < 1 or num_links < 1:
+            raise ModelError("num_states and num_links must be >= 1")
+        if not (0 < low < high):
+            raise ModelError("require 0 < low < high")
+        rng = as_generator(seed)
+        caps = rng.uniform(low, high, size=(num_states, num_links))
+        return cls(caps)
+
+    @classmethod
+    def perturbations(
+        cls,
+        base: Sequence[float] | np.ndarray,
+        *,
+        factors: Sequence[float] = (0.5, 1.0, 2.0),
+    ) -> "StateSpace":
+        """States obtained by scaling a base capacity vector.
+
+        Models the paper's motivating scenario: the same physical path looks
+        faster or slower depending on transient congestion/failures.
+        """
+        base_arr = check_positive_array(base, name="base", ndim=1)
+        fac = check_positive_array(factors, name="factors", ndim=1)
+        caps = fac[:, None] * base_arr[None, :]
+        names = tuple(f"x{f:g}" for f in fac)
+        return cls(caps, names=names)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def capacities(self) -> np.ndarray:
+        """Read-only ``(num_states, m)`` capacity matrix."""
+        return self._capacities
+
+    @property
+    def num_states(self) -> int:
+        return self._capacities.shape[0]
+
+    @property
+    def num_links(self) -> int:
+        return self._capacities.shape[1]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    def state(self, index: int) -> np.ndarray:
+        """Capacity vector of state *index* (read-only view)."""
+        return self._capacities[index]
+
+    def index_of(self, name: str) -> int:
+        """Index of the state labelled *name*."""
+        try:
+            return self._names.index(name)
+        except ValueError:
+            raise KeyError(f"no state named {name!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # dunder plumbing
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self.num_states
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StateSpace):
+            return NotImplemented
+        return (
+            self._names == other._names
+            and self._capacities.shape == other._capacities.shape
+            and bool(np.array_equal(self._capacities, other._capacities))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._names, self._capacities.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"StateSpace(num_states={self.num_states}, num_links={self.num_links})"

@@ -1,0 +1,158 @@
+"""The KP-model substrate (Koutsoupias & Papadimitriou 1999).
+
+The paper's model strictly generalises the KP-model: with every user
+holding the same point-mass belief, effective capacities coincide with
+the true capacities and all of Section 2 collapses to the classic game.
+This module provides the classic machinery on top of that embedding:
+
+* :func:`kp_game` — build the KP special case as an
+  :class:`~repro.model.game.UncertainRoutingGame`;
+* :func:`kp_greedy_nash` — the greedy/LPT pure-NE construction for
+  related links (Fotakis et al. 2002), which ``Auniform`` adapts;
+* :func:`expected_max_congestion` — the KP social cost
+  ``E[max_l load_l / c_l]`` for mixed profiles (exact enumeration for
+  small games, Monte Carlo beyond), which is *objective* here because all
+  users agree on capacities;
+* :func:`opt_max_congestion` / :func:`kp_price_of_anarchy` — the classic
+  optimum and coordination ratio, for side-by-side comparisons with the
+  paper's subjective SC1/SC2 notions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AlgorithmDomainError, ModelError
+from repro.model.game import UncertainRoutingGame
+from repro.model.profiles import (
+    AssignmentLike,
+    MixedLike,
+    PureProfile,
+    as_assignment,
+    as_mixed_matrix,
+    loads_of,
+)
+from repro.model.social import enumerate_assignments
+from repro.util.rng import RandomState, as_generator
+
+__all__ = [
+    "kp_game",
+    "kp_greedy_nash",
+    "expected_max_congestion",
+    "opt_max_congestion",
+    "kp_price_of_anarchy",
+]
+
+
+def kp_game(
+    weights: Sequence[float] | np.ndarray,
+    capacities: Sequence[float] | np.ndarray,
+    *,
+    initial_traffic: Sequence[float] | np.ndarray | None = None,
+) -> UncertainRoutingGame:
+    """The KP-model as a degenerate uncertain routing game."""
+    return UncertainRoutingGame.kp(
+        weights, capacities, initial_traffic=initial_traffic
+    )
+
+
+def _require_kp(game: UncertainRoutingGame) -> np.ndarray:
+    if not game.is_kp():
+        raise AlgorithmDomainError(
+            "this routine needs a KP (common point-mass belief) game"
+        )
+    return game.capacities[0]
+
+
+def kp_greedy_nash(game: UncertainRoutingGame) -> PureProfile:
+    """Greedy pure NE for the KP-model (Fotakis et al. 2002).
+
+    Users are processed in decreasing weight order; each is placed on the
+    link minimising its completion latency ``(load_l + w)/c_l``. For
+    related links this yields a pure Nash equilibrium.
+    """
+    caps = _require_kp(game)
+    order = np.argsort(-game.weights, kind="stable")
+    loads = game.initial_traffic.copy()
+    sigma = np.empty(game.num_users, dtype=np.intp)
+    for user in order:
+        link = int(np.argmin((loads + game.weights[user]) / caps))
+        sigma[user] = link
+        loads[link] += game.weights[user]
+    return PureProfile(sigma, game.num_links)
+
+
+def expected_max_congestion(
+    game: UncertainRoutingGame,
+    mixed: MixedLike | AssignmentLike,
+    *,
+    num_samples: int = 20_000,
+    exact_limit: int = 200_000,
+    seed: RandomState = None,
+) -> float:
+    """Classic KP social cost ``E[max_l (t_l + load_l)/c_l]``.
+
+    The expectation is over the users' independent mixed choices. Small
+    games (``m^n <= exact_limit``) are evaluated exactly by enumerating
+    profiles with their product probabilities; larger games fall back to
+    Monte Carlo with *num_samples* draws.
+    """
+    caps = _require_kp(game)
+    if isinstance(mixed, PureProfile):
+        arr = mixed.links.astype(np.float64)
+    else:
+        arr = np.asarray(
+            mixed.matrix if hasattr(mixed, "matrix") else mixed, dtype=np.float64
+        )
+    if arr.ndim == 1:
+        sigma = as_assignment(mixed, game.num_users, game.num_links)
+        loads = loads_of(sigma, game.weights, game.num_links, game.initial_traffic)
+        return float((loads / caps).max())
+    p = as_mixed_matrix(mixed, game.num_users, game.num_links)
+    n, m = game.num_users, game.num_links
+    if m**n <= exact_limit:
+        assignments = enumerate_assignments(n, m)
+        probs = p[np.arange(n)[None, :], assignments]  # (B, n)
+        weight = probs.prod(axis=1)
+        loads = np.zeros((assignments.shape[0], m))
+        for link in range(m):
+            loads[:, link] = (game.weights[None, :] * (assignments == link)).sum(axis=1)
+        loads += game.initial_traffic[None, :]
+        congestion = (loads / caps[None, :]).max(axis=1)
+        return float(np.dot(weight, congestion))
+    rng = as_generator(seed)
+    if num_samples < 1:
+        raise ModelError("num_samples must be >= 1")
+    # Sample links per user via inverse-CDF on each row.
+    cdf = np.cumsum(p, axis=1)
+    draws = rng.random((num_samples, n))
+    sampled = (draws[:, :, None] > cdf[None, :, :]).sum(axis=2)
+    loads = np.zeros((num_samples, m))
+    for link in range(m):
+        loads[:, link] = (game.weights[None, :] * (sampled == link)).sum(axis=1)
+    loads += game.initial_traffic[None, :]
+    return float((loads / caps[None, :]).max(axis=1).mean())
+
+
+def opt_max_congestion(game: UncertainRoutingGame) -> tuple[float, PureProfile]:
+    """Minimum over pure assignments of the objective max congestion."""
+    caps = _require_kp(game)
+    assignments = enumerate_assignments(game.num_users, game.num_links)
+    loads = np.zeros((assignments.shape[0], game.num_links))
+    for link in range(game.num_links):
+        loads[:, link] = (game.weights[None, :] * (assignments == link)).sum(axis=1)
+    loads += game.initial_traffic[None, :]
+    congestion = (loads / caps[None, :]).max(axis=1)
+    best = int(np.argmin(congestion))
+    return float(congestion[best]), PureProfile(assignments[best], game.num_links)
+
+
+def kp_price_of_anarchy(
+    game: UncertainRoutingGame, mixed: MixedLike | AssignmentLike, **kwargs
+) -> float:
+    """``E[max congestion at profile] / OPT`` — the classic coordination ratio."""
+    cost = expected_max_congestion(game, mixed, **kwargs)
+    opt, _ = opt_max_congestion(game)
+    return cost / opt

@@ -1,0 +1,221 @@
+"""Weighted singleton congestion games with player-specific cost tables.
+
+This is Milchtaich's class [17], of which the paper's model is the
+*multiplicatively separable* instance: user ``i``'s cost on link ``l`` is
+``load / c^l_i`` — a player-specific positive scaling of a common linear
+latency. Milchtaich showed the general class need not have pure NE
+(a 3-player counterexample), while the paper proves its multiplicative
+subclass does for n = 3 and conjectures it always does. Experiment E12
+reproduces that separation on this substrate.
+
+Representation: weights are positive **integers**, so the achievable load
+values on a link are the integers ``0..W`` with ``W = sum w_i``. Cost
+tables are an ``(n, m, W + 1)`` array, nondecreasing along the load axis;
+``cost[i, l, k]`` is what user ``i`` pays on link ``l`` when the total
+load there (its own weight included) is ``k``. Integer loads make every
+lookup exact — no floating-point grid matching.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DimensionError, ModelError
+from repro.model.game import UncertainRoutingGame
+from repro.model.social import enumerate_assignments
+
+__all__ = ["PlayerSpecificGame"]
+
+
+class PlayerSpecificGame:
+    """A weighted singleton congestion game with player-specific costs."""
+
+    __slots__ = ("_weights", "_costs")
+
+    def __init__(
+        self,
+        weights: Sequence[int] | np.ndarray,
+        cost_tables: np.ndarray,
+    ) -> None:
+        w = np.array(weights, dtype=np.int64, copy=True, order="C")
+        if w.ndim != 1 or w.size < 2:
+            raise DimensionError("weights must be a vector of length >= 2")
+        if np.any(w <= 0):
+            raise ModelError("weights must be positive integers")
+        costs = np.array(cost_tables, dtype=np.float64, copy=True, order="C")
+        total = int(w.sum())
+        if costs.ndim != 3 or costs.shape[0] != w.size or costs.shape[2] != total + 1:
+            raise DimensionError(
+                f"cost_tables must have shape (n, m, {total + 1}), got {costs.shape}"
+            )
+        if costs.shape[1] < 2:
+            raise ModelError("need at least two links")
+        if not np.all(np.isfinite(costs)):
+            raise ModelError("cost tables contain non-finite entries")
+        if np.any(np.diff(costs, axis=2) < 0):
+            raise ModelError("cost tables must be nondecreasing in the load")
+        self._weights = w
+        self._costs = costs
+        self._weights.setflags(write=False)
+        self._costs.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def unweighted(cls, cost_by_count: np.ndarray) -> "PlayerSpecificGame":
+        """Milchtaich's original unweighted setting.
+
+        *cost_by_count* has shape ``(n, m, n)`` with entry ``(i, l, k-1)``
+        the cost for user ``i`` on link ``l`` shared by ``k`` users. These
+        games always possess a pure NE (Milchtaich 1996).
+        """
+        arr = np.ascontiguousarray(cost_by_count, dtype=np.float64)
+        if arr.ndim != 3 or arr.shape[0] != arr.shape[2]:
+            raise DimensionError("cost_by_count must have shape (n, m, n)")
+        n, m, _ = arr.shape
+        tables = np.empty((n, m, n + 1))
+        tables[:, :, 0] = arr[:, :, 0]  # load 0 unused; keep monotone
+        tables[:, :, 1:] = arr
+        return cls(np.ones(n, dtype=np.int64), tables)
+
+    @classmethod
+    def from_uncertain_game(cls, game: UncertainRoutingGame) -> "PlayerSpecificGame":
+        """Embed an integer-weight uncertain routing game.
+
+        Demonstrates that the paper's model is the multiplicative instance
+        of this class: ``cost[i, l, k] = k / c^l_i``. Requires integer
+        weights and zero initial traffic.
+        """
+        w = game.weights
+        if np.any(np.abs(w - np.round(w)) > 1e-9):
+            raise ModelError("embedding requires integer user weights")
+        if np.any(game.initial_traffic > 0):
+            raise ModelError("embedding requires zero initial traffic")
+        wi = np.round(w).astype(np.int64)
+        total = int(wi.sum())
+        loads = np.arange(total + 1, dtype=np.float64)
+        tables = loads[None, None, :] / game.capacities[:, :, None]
+        return cls(wi, tables)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._weights
+
+    @property
+    def num_players(self) -> int:
+        return self._weights.size
+
+    @property
+    def num_links(self) -> int:
+        return self._costs.shape[1]
+
+    @property
+    def cost_tables(self) -> np.ndarray:
+        return self._costs
+
+    @property
+    def total_weight(self) -> int:
+        return int(self._weights.sum())
+
+    def is_unweighted(self) -> bool:
+        return bool(np.all(self._weights == 1))
+
+    # ------------------------------------------------------------------ #
+    # costs and equilibrium structure
+    # ------------------------------------------------------------------ #
+
+    def _normalise(self, assignment: Sequence[int] | np.ndarray) -> np.ndarray:
+        sigma = np.ascontiguousarray(assignment, dtype=np.intp)
+        if sigma.shape != (self.num_players,):
+            raise DimensionError(
+                f"assignment must have shape ({self.num_players},), got {sigma.shape}"
+            )
+        if np.any(sigma < 0) or np.any(sigma >= self.num_links):
+            raise ModelError("assignment refers to a non-existent link")
+        return sigma
+
+    def loads(self, assignment: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Integer load per link under a pure assignment."""
+        sigma = self._normalise(assignment)
+        return np.bincount(
+            sigma, weights=self._weights, minlength=self.num_links
+        ).astype(np.int64)
+
+    def costs_of(self, assignment: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Each player's cost under a pure assignment."""
+        sigma = self._normalise(assignment)
+        loads = self.loads(sigma)
+        players = np.arange(self.num_players)
+        return self._costs[players, sigma, loads[sigma]]
+
+    def deviation_costs(self, assignment: Sequence[int] | np.ndarray) -> np.ndarray:
+        """``(n, m)`` matrix of hypothetical costs after unilateral moves."""
+        sigma = self._normalise(assignment)
+        loads = self.loads(sigma)
+        n, m = self.num_players, self.num_links
+        players = np.arange(n)
+        seen = loads[None, :] + self._weights[:, None]
+        seen[players, sigma] -= self._weights
+        return self._costs[players[:, None], np.arange(m)[None, :], seen]
+
+    def is_pure_nash(
+        self, assignment: Sequence[int] | np.ndarray, *, tol: float = 1e-12
+    ) -> bool:
+        """Whether no player can strictly reduce its cost unilaterally."""
+        sigma = self._normalise(assignment)
+        dev = self.deviation_costs(sigma)
+        current = dev[np.arange(self.num_players), sigma]
+        return bool(np.all(dev.min(axis=1) >= current - tol))
+
+    def pure_nash_profiles(self) -> list[tuple[int, ...]]:
+        """All pure NE by exhaustive sweep (small games only)."""
+        n, m = self.num_players, self.num_links
+        if m**n > 1_000_000:
+            raise ModelError("game too large for exhaustive enumeration")
+        out = []
+        for row in enumerate_assignments(n, m):
+            if self.is_pure_nash(row):
+                out.append(tuple(int(x) for x in row))
+        return out
+
+    def exists_pure_nash(self) -> bool:
+        """Whether at least one pure NE exists (exhaustive)."""
+        n, m = self.num_players, self.num_links
+        if m**n > 1_000_000:
+            raise ModelError("game too large for exhaustive enumeration")
+        for row in enumerate_assignments(n, m):
+            if self.is_pure_nash(row):
+                return True
+        return False
+
+    def best_response_dynamics(
+        self,
+        start: Sequence[int] | np.ndarray,
+        *,
+        max_steps: int = 10_000,
+    ) -> tuple[np.ndarray, bool, int]:
+        """Round-robin best responses; returns (profile, converged, steps)."""
+        sigma = self._normalise(start).copy()
+        for step in range(max_steps):
+            dev = self.deviation_costs(sigma)
+            current = dev[np.arange(self.num_players), sigma]
+            movers = np.flatnonzero(dev.min(axis=1) < current - 1e-12)
+            if movers.size == 0:
+                return sigma, True, step
+            user = int(movers[0])
+            sigma[user] = int(np.argmin(dev[user]))
+        return sigma, False, max_steps
+
+    def __repr__(self) -> str:
+        return (
+            f"PlayerSpecificGame(n={self.num_players}, m={self.num_links}, "
+            f"total_weight={self.total_weight})"
+        )

@@ -1,0 +1,24 @@
+"""Shared utilities: RNG handling, validation, table rendering, timing."""
+
+from repro.util.rng import as_generator, spawn_generators, stable_seed
+from repro.util.tables import Table, format_float
+from repro.util.timing import ScalingFit, fit_power_law, time_callable
+from repro.util.validation import (
+    check_positive_array,
+    check_probability_matrix,
+    check_probability_vector,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "stable_seed",
+    "Table",
+    "format_float",
+    "ScalingFit",
+    "fit_power_law",
+    "time_callable",
+    "check_positive_array",
+    "check_probability_matrix",
+    "check_probability_vector",
+]

@@ -1,0 +1,84 @@
+"""Plain-text table rendering for experiment and benchmark harnesses.
+
+The reproduction harness prints the same row/series structure the paper's
+claims imply (experiment id, instance parameters, measured quantity, bound,
+verdict). Keeping the renderer dependency-free makes every benchmark's
+output usable in CI logs and in ``EXPERIMENTS.md`` verbatim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["Table", "format_float"]
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Format a float compactly: fixed point for moderate magnitudes,
+    scientific notation otherwise, and exact text for ints/NaN/inf."""
+    if value is None:  # type: ignore[unreachable]
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if value == int(value) and abs(value) < 10**6:
+        return str(int(value))
+    if value != 0 and (abs(value) >= 10**6 or abs(value) < 10**-4):
+        return f"{value:.{digits}e}"
+    return f"{value:.{digits}g}"
+
+
+@dataclass
+class Table:
+    """A minimal column-aligned ASCII table.
+
+    >>> t = Table(["n", "ratio"], title="demo")
+    >>> t.add_row([4, 1.25])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    demo
+    ...
+    """
+
+    columns: Sequence[str]
+    title: str = ""
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = []
+        for v in values:
+            if isinstance(v, float):
+                row.append(format_float(v))
+            else:
+                row.append(str(v))
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        headers = [str(c) for c in self.columns]
+        widths = [len(h) for h in headers]
+        for row in self.rows:
+            for j, cell in enumerate(row):
+                widths[j] = max(widths[j], len(cell))
+
+        def fmt_line(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(widths[j]) for j, c in enumerate(cells)).rstrip()
+
+        sep = "  ".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_line(headers))
+        lines.append(sep)
+        lines.extend(fmt_line(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.render()

@@ -1,0 +1,67 @@
+"""Timing helpers and empirical complexity fits.
+
+The paper states asymptotic complexities for its three algorithms
+(O(n^2), O(n^2 m), O(n(log n + m))). The scaling experiments time the
+implementations over a geometric grid of sizes and estimate the growth
+exponent by least squares on log-log data; :class:`ScalingFit` carries the
+exponent plus an R^2 so benchmark tables can report fit quality.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["ScalingFit", "fit_power_law", "time_callable"]
+
+
+def time_callable(fn: Callable[[], object], *, repeats: int = 3) -> float:
+    """Return the minimum wall-clock seconds over *repeats* calls of *fn*.
+
+    The minimum (not the mean) is the standard estimator for the
+    interference-free cost of a deterministic computation.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Least-squares power-law fit ``t ~ coeff * x**exponent``."""
+
+    exponent: float
+    coeff: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.coeff * float(x) ** self.exponent
+
+
+def fit_power_law(xs: Sequence[float], ts: Sequence[float]) -> ScalingFit:
+    """Fit ``t = c * x**a`` by linear regression on (log x, log t).
+
+    Raises ``ValueError`` for fewer than two points or non-positive data,
+    which would make the log transform meaningless.
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    t = np.asarray(ts, dtype=np.float64)
+    if x.shape != t.shape or x.ndim != 1 or x.size < 2:
+        raise ValueError("need two 1-D arrays of equal length >= 2")
+    if np.any(x <= 0) or np.any(t <= 0):
+        raise ValueError("power-law fit requires positive sizes and times")
+    lx, lt = np.log(x), np.log(t)
+    a, b = np.polyfit(lx, lt, 1)
+    pred = a * lx + b
+    ss_res = float(np.sum((lt - pred) ** 2))
+    ss_tot = float(np.sum((lt - lt.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return ScalingFit(exponent=float(a), coeff=float(np.exp(b)), r_squared=r2)

@@ -1,0 +1,94 @@
+"""Tests for the conjecture campaign and the scaling fits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.conjecture import CampaignResult, run_conjecture_campaign
+from repro.analysis.scaling import THEORETICAL_EXPONENTS, measure_scaling
+from repro.analysis.cycles import (
+    abstract_move_graph,
+    realize_cycle,
+    search_improvement_cycle_instance,
+)
+from repro.generators.suites import GridCell
+
+
+class TestConjectureCampaign:
+    def test_small_campaign_supports_conjecture(self):
+        grid = [GridCell(2, 2, 5), GridCell(3, 3, 5)]
+        result = run_conjecture_campaign(grid, label="test-camp")
+        assert result.conjecture_supported
+        assert result.total_instances == 10
+        assert result.counterexamples == 0
+
+    def test_cells_carry_statistics(self):
+        grid = [GridCell(3, 2, 4)]
+        result = run_conjecture_campaign(grid, label="test-camp2")
+        cell = result.cells[0]
+        assert cell.instances == 4
+        assert cell.with_pure_nash == 4
+        assert cell.min_equilibria >= 1
+        assert cell.max_equilibria >= cell.min_equilibria
+        assert cell.brd_always_converged
+
+    def test_table_renders(self):
+        grid = [GridCell(2, 2, 2)]
+        result = run_conjecture_campaign(grid, label="test-camp3")
+        text = result.to_table().render()
+        assert "Conjecture" in text
+        assert "PNE" in text
+
+    def test_deterministic(self):
+        grid = [GridCell(3, 2, 3)]
+        a = run_conjecture_campaign(grid, label="same-label")
+        b = run_conjecture_campaign(grid, label="same-label")
+        assert a.cells[0].mean_equilibria == b.cells[0].mean_equilibria
+
+
+class TestScaling:
+    def test_atwolinks_scaling_fit(self):
+        obs = measure_scaling("atwolinks", sizes=[16, 32, 64, 128], repeats=1)
+        assert len(obs.seconds) == 4
+        assert all(s > 0 for s in obs.seconds)
+        # Vectorisation can flatten the curve, but growth must not exceed
+        # the stated O(n^2) class materially.
+        assert obs.exponent <= THEORETICAL_EXPONENTS["atwolinks"] + 0.6
+
+    def test_auniform_scaling_fit(self):
+        obs = measure_scaling("auniform", sizes=[128, 256, 512, 1024], repeats=1)
+        assert obs.exponent <= 2.0
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            measure_scaling("quantum")
+
+
+class TestCycleMachinery:
+    def test_abstract_move_graph_shape(self):
+        g = abstract_move_graph(2, 2)
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 8  # each state: 2 users x 1 alt link
+
+    def test_two_user_two_link_cycles_unrealisable(self):
+        """The library-level proof sketch: the canonical 4-cycle cannot be
+        realised by any capacities (the move inequalities multiply to a
+        contradiction)."""
+        states = [(0, 0), (1, 0), (1, 1), (0, 1), (0, 0)]
+        for w in ([1.0, 1.0], [1.0, 3.0], [2.5, 0.4]):
+            assert realize_cycle(states, w, 2) is None
+
+    def test_open_walks_rejected(self):
+        assert realize_cycle([(0, 0), (1, 0)], [1.0, 1.0], 2) is None
+
+    def test_non_unilateral_steps_rejected(self):
+        states = [(0, 0), (1, 1), (0, 0)]
+        assert realize_cycle(states, [1.0, 1.0], 2) is None
+
+    def test_search_small_budget_runs(self):
+        result = search_improvement_cycle_instance(
+            max_cycle_length=4, weight_draws=3, max_cycles=200, seed=0
+        )
+        assert result.cycles_tested > 0
+        # Length-4 cycles are provably unrealisable.
+        assert not result.found

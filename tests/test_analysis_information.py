@@ -1,0 +1,100 @@
+"""Tests for the value-of-information analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.information import (
+    InformationStudy,
+    objective_latency,
+    run_information_study,
+)
+from repro.model.beliefs import Belief, BeliefProfile
+from repro.model.game import UncertainRoutingGame
+from repro.model.profiles import PureProfile
+from repro.model.state import StateSpace
+
+
+@pytest.fixture
+def regimes() -> StateSpace:
+    return StateSpace(
+        [[8.0, 2.0], [2.0, 8.0]], names=("left-fast", "right-fast")
+    )
+
+
+class TestObjectiveLatency:
+    def test_hand_computed(self, regimes):
+        beliefs = BeliefProfile.from_matrix(
+            regimes, [[1.0, 0.0], [1.0, 0.0]]
+        )
+        game = UncertainRoutingGame([1.0, 1.0], beliefs)
+        profile = PureProfile([0, 1], 2)
+        truth = np.array([0.5, 0.5])
+        # user 0 on link 0, load 1; E[1/c] = 0.5/8 + 0.5/2 = 0.3125.
+        assert objective_latency(game, profile, truth, 0) == pytest.approx(0.3125)
+
+    def test_scales_with_load(self, regimes):
+        beliefs = BeliefProfile.from_matrix(
+            regimes, [[1.0, 0.0], [1.0, 0.0]]
+        )
+        game = UncertainRoutingGame([1.0, 1.0], beliefs)
+        both = PureProfile([0, 0], 2)
+        alone = PureProfile([0, 1], 2)
+        truth = np.array([0.5, 0.5])
+        assert objective_latency(game, both, truth, 0) == pytest.approx(
+            2 * objective_latency(game, alone, truth, 0)
+        )
+
+
+class TestInformationStudy:
+    def test_study_runs_and_is_deterministic(self, regimes):
+        truth = np.array([0.8, 0.2])
+        policies = {
+            "informed": Belief(truth),
+            "wrong": Belief([0.1, 0.9]),
+        }
+        a = run_information_study(
+            regimes, truth, policies, rounds=20, seed=1
+        )
+        b = run_information_study(
+            regimes, truth, policies, rounds=20, seed=1
+        )
+        assert a.mean_latency == b.mean_latency
+        assert a.rounds == 20
+
+    def test_informed_beats_adversarial(self):
+        """With a strongly skewed truth and a wide capacity gap, believing
+        the mirror image costs real objective latency.
+
+        (The gap matters: with mild asymmetry a contrarian can profit by
+        sitting alone on the slow link while the informed crowd shares the
+        fast one — a real congestion effect, not a bug.)
+        """
+        regimes = StateSpace([[20.0, 1.0], [1.0, 20.0]])
+        truth = np.array([0.95, 0.05])
+        policies = {
+            "informed": Belief(truth),
+            "adversarial": Belief([0.02, 0.98]),
+        }
+        study = run_information_study(
+            regimes, truth, policies, rounds=60, seed=2
+        )
+        assert (
+            study.mean_latency["informed"]
+            < study.mean_latency["adversarial"]
+        )
+        assert study.advantage_of("informed", "adversarial") > 0.0
+
+    def test_rejects_bad_distribution(self, regimes):
+        with pytest.raises(ValueError):
+            run_information_study(
+                regimes, [0.5, 0.25, 0.25], {"x": Belief([0.5, 0.5])}, rounds=1
+            )
+
+    def test_advantage_sign_convention(self):
+        study = InformationStudy(
+            policies=("a", "b"), mean_latency={"a": 1.0, "b": 2.0}, rounds=1
+        )
+        assert study.advantage_of("a", "b") == pytest.approx(0.5)
+        assert study.advantage_of("b", "a") == pytest.approx(-1.0)

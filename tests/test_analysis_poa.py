@@ -1,0 +1,116 @@
+"""Tests for PoA bounds and empirical ratios (Theorems 4.13/4.14)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.poa import (
+    PoAObservation,
+    empirical_coordination_ratios,
+    poa_bound_general,
+    poa_bound_uniform,
+    poa_study,
+)
+from repro.generators.games import random_game, random_uniform_beliefs_game
+from repro.generators.suites import GridCell
+
+
+class TestBounds:
+    def test_uniform_bound_formula(self):
+        game = random_uniform_beliefs_game(4, 3, seed=0)
+        caps = game.capacities
+        expected = (caps.max() / caps.min()) * (3 + 4 - 1) / 3
+        assert poa_bound_uniform(game) == pytest.approx(expected)
+
+    def test_general_bound_formula(self):
+        game = random_game(4, 3, seed=1)
+        caps = game.capacities
+        expected = (
+            caps.max() ** 2 / caps.min() * (3 + 4 - 1) / caps.min(axis=0).sum()
+        )
+        assert poa_bound_general(game) == pytest.approx(expected)
+
+    def test_bounds_at_least_one(self):
+        """The bounds must never drop below 1 (OPT is a lower bound)."""
+        for seed in range(10):
+            game = random_game(3, 3, seed=seed)
+            assert poa_bound_general(game) >= 1.0
+            gu = random_uniform_beliefs_game(3, 3, seed=seed)
+            assert poa_bound_uniform(gu) >= 1.0
+
+    def test_identical_capacities_uniform_bound(self):
+        from repro.model.game import UncertainRoutingGame
+
+        game = UncertainRoutingGame.from_capacities(
+            [1.0, 1.0, 1.0], np.ones((3, 2))
+        )
+        # cmax = cmin -> bound = (m + n - 1)/m = 4/2.
+        assert poa_bound_uniform(game) == pytest.approx(2.0)
+
+
+class TestEmpiricalRatios:
+    def test_ratios_at_least_one(self):
+        game = random_game(3, 2, seed=2)
+        r1, r2 = empirical_coordination_ratios(game)
+        assert r1 >= 1.0 - 1e-9
+        assert r2 >= 1.0 - 1e-9
+
+    def test_bound_dominates_uniform(self):
+        """Theorem 4.13 on sampled uniform-beliefs instances."""
+        for seed in range(15):
+            game = random_uniform_beliefs_game(4, 2, seed=seed)
+            r1, r2 = empirical_coordination_ratios(game)
+            bound = poa_bound_uniform(game)
+            assert r1 <= bound * (1 + 1e-9)
+            assert r2 <= bound * (1 + 1e-9)
+
+    def test_bound_dominates_general(self):
+        """Theorem 4.14 on sampled general instances."""
+        for seed in range(15):
+            game = random_game(4, 2, seed=seed)
+            r1, r2 = empirical_coordination_ratios(game)
+            bound = poa_bound_general(game)
+            assert r1 <= bound * (1 + 1e-9)
+            assert r2 <= bound * (1 + 1e-9)
+
+    def test_explicit_equilibria_accepted(self):
+        from repro.equilibria.enumeration import pure_nash_profiles
+
+        game = random_game(3, 2, seed=5)
+        eqs = pure_nash_profiles(game)
+        r1, r2 = empirical_coordination_ratios(game, eqs)
+        assert r1 >= 1.0 - 1e-9
+
+    def test_raises_without_equilibria(self):
+        game = random_game(3, 2, seed=6)
+        with pytest.raises(ValueError):
+            empirical_coordination_ratios(game, [])
+
+
+class TestPoAStudy:
+    def test_study_returns_observations(self):
+        grid = [GridCell(3, 2, 3)]
+        obs = poa_study(grid, uniform_beliefs=False, label="test")
+        assert len(obs) == 3
+        for o in obs:
+            assert isinstance(o, PoAObservation)
+            assert o.bound_holds()
+
+    def test_uniform_study(self):
+        grid = [GridCell(3, 2, 3)]
+        obs = poa_study(grid, uniform_beliefs=True, label="test-u")
+        assert all(o.bound_holds() for o in obs)
+
+    def test_slack_properties(self):
+        obs = PoAObservation(3, 2, 1.2, 1.1, 3.6, 4)
+        assert obs.slack_sc1 == pytest.approx(3.0)
+        assert obs.slack_sc2 == pytest.approx(3.6 / 1.1)
+
+    def test_deterministic(self):
+        grid = [GridCell(3, 2, 2)]
+        a = poa_study(grid, uniform_beliefs=False, label="same")
+        b = poa_study(grid, uniform_beliefs=False, label="same")
+        assert [(o.ratio_sc1, o.bound) for o in a] == [
+            (o.ratio_sc1, o.bound) for o in b
+        ]

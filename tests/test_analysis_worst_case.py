@@ -1,0 +1,73 @@
+"""Tests for FMNE dominance verification (Lemma 4.9 / Thms 4.11-4.12)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.worst_case import (
+    fmne_reference_latencies,
+    verify_fmne_dominance,
+)
+from repro.equilibria.fully_mixed import fully_mixed_candidate
+from repro.generators.games import random_game, random_uniform_beliefs_game
+
+
+class TestReferenceLatencies:
+    def test_matches_candidate(self):
+        game = random_game(3, 2, seed=0)
+        np.testing.assert_allclose(
+            fmne_reference_latencies(game),
+            fully_mixed_candidate(game).latencies,
+        )
+
+
+class TestDominance:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_lemma_4_9_holds_on_random_games(self, seed):
+        game = random_game(3, 2, seed=seed)
+        report = verify_fmne_dominance(game)
+        assert report.holds, f"violations: {report.violations}"
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lemma_4_9_uniform_beliefs(self, seed):
+        game = random_uniform_beliefs_game(3, 2, seed=seed)
+        report = verify_fmne_dominance(game)
+        assert report.holds
+
+    def test_sc_maximality_theorems(self):
+        """Theorems 4.11/4.12: SC1 and SC2 of every NE are below the
+        fully mixed values."""
+        for seed in range(6):
+            game = random_game(3, 2, seed=seed)
+            report = verify_fmne_dominance(game)
+            if not report.equilibria:
+                continue
+            assert max(report.sc1_values) <= report.fmne_sc1() * (1 + 1e-7)
+            assert max(report.sc2_values) <= report.fmne_sc2() * (1 + 1e-7)
+
+    def test_corollary_4_10_pseudo_profile(self):
+        """Dominance is asserted against the closed-form latencies even
+        when the fully mixed NE does not exist."""
+        hits = 0
+        for seed in range(20):
+            game = random_game(3, 2, seed=seed)
+            report = verify_fmne_dominance(game)
+            if not report.fmne_exists:
+                hits += 1
+                assert report.holds
+        assert hits > 0  # the sweep exercised the Corollary 4.10 branch
+
+    def test_report_contents(self):
+        game = random_game(2, 2, seed=3)
+        report = verify_fmne_dominance(game)
+        assert report.game is game
+        assert report.reference_latencies.shape == (2,)
+        assert isinstance(report.fmne_exists, bool)
+        assert report.holds == (len(report.violations) == 0)
+
+    def test_equilibria_found(self):
+        game = random_game(2, 2, seed=4)
+        report = verify_fmne_dominance(game)
+        # Conjecture 3.7: at least one (pure) equilibrium must appear.
+        assert len(report.equilibria) >= 1

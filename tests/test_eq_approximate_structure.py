@@ -1,0 +1,143 @@
+"""Tests for approximate equilibria and the equilibrium-set census."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.game import UncertainRoutingGame
+from repro.equilibria.approximate import (
+    best_epsilon_pure,
+    epsilon_mixed,
+    epsilon_pure,
+    rounded_fully_mixed,
+)
+from repro.equilibria.enumeration import pure_nash_profiles
+from repro.equilibria.fully_mixed import fully_mixed_candidate
+from repro.equilibria.structure import equilibrium_set
+from repro.generators.games import random_game
+
+
+class TestEpsilonPure:
+    def test_zero_at_nash(self):
+        game = random_game(3, 3, seed=0)
+        for eq in pure_nash_profiles(game):
+            assert epsilon_pure(game, eq) == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_off_nash(self):
+        game = UncertainRoutingGame.from_capacities(
+            [1.0, 1.0], np.ones((2, 2))
+        )
+        # Colocated users each pay 2; moving pays 1 -> epsilon = 1.
+        assert epsilon_pure(game, [0, 0]) == pytest.approx(1.0)
+
+    def test_scale_invariant(self):
+        """Multiplicative epsilon is invariant to capacity rescaling."""
+        game = random_game(4, 3, seed=1)
+        scaled = UncertainRoutingGame.from_capacities(
+            game.weights, game.capacities * 7.0
+        )
+        sigma = [0, 1, 2, 0]
+        assert epsilon_pure(game, sigma) == pytest.approx(
+            epsilon_pure(scaled, sigma), rel=1e-9
+        )
+
+
+class TestEpsilonMixed:
+    def test_zero_at_fully_mixed_nash(self):
+        for seed in range(20):
+            game = random_game(3, 3, concentration=5.0, seed=seed)
+            cand = fully_mixed_candidate(game)
+            if cand.exists:
+                assert epsilon_mixed(game, cand.profile()) < 1e-9
+                return
+        pytest.skip("no interior candidate found in the sweep")
+
+    def test_positive_for_bad_support(self):
+        game = UncertainRoutingGame.from_capacities(
+            [1.0, 1.0], [[2.0, 1.0], [2.0, 1.0]]
+        )
+        from repro.model.profiles import MixedProfile
+
+        p = MixedProfile([[0.5, 0.5], [0.0, 1.0]])
+        assert epsilon_mixed(game, p) > 0
+
+
+class TestRoundedFullyMixed:
+    def test_interior_candidate_rounds_to_itself(self):
+        for seed in range(25):
+            game = random_game(3, 3, concentration=5.0, seed=seed)
+            cand = fully_mixed_candidate(game)
+            if cand.exists:
+                rounded = rounded_fully_mixed(game)
+                assert rounded.was_interior
+                assert rounded.epsilon < 1e-6
+                np.testing.assert_allclose(
+                    rounded.profile.matrix, cand.probabilities, atol=1e-9
+                )
+                return
+        pytest.skip("no interior candidate found")
+
+    def test_noninterior_candidate_projected(self):
+        caps = np.array([[100.0, 0.01], [100.0, 0.01]])
+        game = UncertainRoutingGame.from_capacities([1.0, 1.0], caps)
+        rounded = rounded_fully_mixed(game)
+        assert not rounded.was_interior
+        assert rounded.profile.is_fully_mixed(atol=1e-12)
+        assert rounded.epsilon > 0  # genuinely not an equilibrium
+
+    def test_rows_are_distributions(self):
+        game = random_game(4, 3, seed=9)
+        rounded = rounded_fully_mixed(game)
+        np.testing.assert_allclose(
+            rounded.profile.matrix.sum(axis=1), 1.0, atol=1e-12
+        )
+
+
+class TestBestEpsilonPure:
+    def test_zero_when_pure_nash_exists(self):
+        game = random_game(3, 3, seed=2)
+        eps, sigma = best_epsilon_pure(game)
+        assert eps == pytest.approx(0.0, abs=1e-12)
+        from repro.equilibria.conditions import is_pure_nash
+
+        assert is_pure_nash(game, sigma)
+
+
+class TestEquilibriumSet:
+    def test_census_consistency(self):
+        game = random_game(3, 2, seed=4)
+        census = equilibrium_set(game)
+        assert census.num_pure == len(pure_nash_profiles(game))
+        assert census.num_pure >= 1
+        assert len(census.mixed) >= census.num_pure
+
+    def test_cost_ranges_ordered(self):
+        game = random_game(3, 2, seed=5)
+        census = equilibrium_set(game)
+        lo1, hi1 = census.cost_range_sc1()
+        lo2, hi2 = census.cost_range_sc2()
+        assert lo1 <= hi1 and lo2 <= hi2
+
+    def test_worst_vs_best(self):
+        from repro.model.social import sc1
+
+        game = random_game(3, 2, seed=6)
+        census = equilibrium_set(game)
+        worst = census.worst_equilibrium("sum")
+        best = census.best_equilibrium("sum")
+        assert sc1(game, best) <= sc1(game, worst) + 1e-12
+
+    def test_support_histogram_total(self):
+        game = random_game(2, 2, seed=7)
+        census = equilibrium_set(game)
+        hist = census.support_size_histogram()
+        assert sum(hist.values()) == len(census.mixed)
+        # Pure equilibria contribute support size exactly n.
+        if census.num_pure:
+            assert hist.get(2, 0) >= census.num_pure
+
+    def test_fully_mixed_flag_matches_candidate(self):
+        game = random_game(3, 2, seed=8)
+        census = equilibrium_set(game)
+        assert census.fully_mixed_exists == fully_mixed_candidate(game).exists

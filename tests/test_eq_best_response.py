@@ -1,0 +1,170 @@
+"""Tests for best-/better-response dynamics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.model.game import UncertainRoutingGame
+from repro.equilibria.best_response import (
+    best_response_dynamics,
+    best_responses,
+    better_response_dynamics,
+)
+from repro.equilibria.conditions import is_pure_nash
+from repro.generators.games import random_game, random_kp_game
+
+
+class TestBestResponses:
+    def test_points_to_argmin(self, three_user_game):
+        sigma = [0, 0, 0]
+        br = best_responses(three_user_game, sigma)
+        from repro.model.latency import deviation_latencies
+
+        dev = deviation_latencies(three_user_game, sigma)
+        np.testing.assert_array_equal(br, np.argmin(dev, axis=1))
+
+    def test_fixed_point_is_nash(self, three_user_game):
+        from repro.equilibria.enumeration import pure_nash_profiles
+
+        for eq in pure_nash_profiles(three_user_game):
+            br = best_responses(three_user_game, eq)
+            # At a NE the current link attains the minimum (ties may pick a
+            # lower-indexed link of equal latency).
+            from repro.model.latency import deviation_latencies
+
+            dev = deviation_latencies(three_user_game, eq)
+            cur = dev[np.arange(3), eq.links]
+            np.testing.assert_allclose(dev[np.arange(3), br], cur, rtol=1e-9)
+
+
+class TestBestResponseDynamics:
+    @pytest.mark.parametrize("schedule", ["round_robin", "max_regret", "random"])
+    def test_converges_to_nash(self, schedule):
+        game = random_game(5, 3, seed=8)
+        result = best_response_dynamics(game, schedule=schedule, seed=0)
+        assert result.converged
+        assert is_pure_nash(game, result.profile)
+
+    def test_start_respected(self, three_user_game):
+        result = best_response_dynamics(three_user_game, [0, 0, 0], seed=0)
+        assert result.converged
+
+    def test_start_not_mutated(self, three_user_game):
+        start = np.array([0, 0, 0], dtype=np.intp)
+        best_response_dynamics(three_user_game, start, seed=0)
+        np.testing.assert_array_equal(start, [0, 0, 0])
+
+    def test_zero_steps_when_starting_at_nash(self, three_user_game):
+        from repro.equilibria.enumeration import pure_nash_profiles
+
+        eq = pure_nash_profiles(three_user_game)[0]
+        result = best_response_dynamics(three_user_game, eq)
+        assert result.converged
+        assert result.steps == 0
+        assert result.profile == eq
+
+    def test_history_recorded(self, three_user_game):
+        result = best_response_dynamics(
+            three_user_game, [0, 0, 0], record_history=True
+        )
+        assert len(result.history) == result.steps + 1
+        assert result.history[0].as_tuple() == (0, 0, 0)
+
+    def test_history_moves_are_unilateral(self, three_user_game):
+        result = best_response_dynamics(
+            three_user_game, [0, 0, 0], record_history=True
+        )
+        for a, b in zip(result.history, result.history[1:]):
+            diff = np.sum(a.links != b.links)
+            assert diff == 1
+
+    def test_budget_exhaustion_returns_unconverged(self):
+        game = random_game(6, 3, seed=1)
+        result = best_response_dynamics(game, [0] * 6, max_steps=0)
+        assert not result.converged
+
+    def test_budget_exhaustion_can_raise(self):
+        game = random_game(6, 3, seed=1)
+        # max_steps=0 cannot converge unless start is already a NE.
+        if not is_pure_nash(game, [0] * 6):
+            with pytest.raises(ConvergenceError):
+                best_response_dynamics(
+                    game, [0] * 6, max_steps=0, raise_on_budget=True
+                )
+
+    def test_deterministic_given_seed(self):
+        game = random_game(5, 3, seed=3)
+        a = best_response_dynamics(game, schedule="random", seed=11)
+        b = best_response_dynamics(game, schedule="random", seed=11)
+        assert a.profile == b.profile
+        assert a.steps == b.steps
+
+    def test_many_random_instances_converge(self):
+        """The E5 evidence in miniature: dynamics always found a NE."""
+        for seed in range(25):
+            game = random_game(4, 3, seed=seed)
+            result = best_response_dynamics(game, seed=seed)
+            assert result.converged, f"instance {seed} did not converge"
+
+
+class TestBetterResponseDynamics:
+    def test_converges_on_kp(self):
+        """Common-beliefs games have a weighted potential, so better-response
+        dynamics must converge from every start."""
+        for seed in range(10):
+            game = random_kp_game(5, 3, seed=seed)
+            result = better_response_dynamics(game, seed=seed)
+            assert result.converged
+            assert is_pure_nash(game, result.profile)
+
+    def test_converged_profile_is_nash(self):
+        game = random_game(4, 4, seed=2)
+        result = better_response_dynamics(game, seed=5)
+        if result.converged:
+            assert is_pure_nash(game, result.profile)
+
+    def test_sampled_trajectories_never_cycle(self):
+        """Deterministic better-response trajectories on sampled instances
+        always converge — consistent with the E6 finding that short
+        improvement cycles are unrealisable in this model."""
+        for seed in range(60):
+            game = random_game(3, 3, concentration=0.35, seed=seed)
+            result = better_response_dynamics(
+                game, schedule="round_robin", max_steps=5_000, seed=seed
+            )
+            assert result.converged
+            assert not result.cycled
+
+    def test_cycle_detection_machinery(self):
+        """Exercise the revisit detector directly: a negative tolerance
+        turns ties into 'improvements', forcing an immediate revisit that
+        must be reported as a cycle instead of looping to the budget."""
+        game = UncertainRoutingGame.from_capacities(
+            [1.0, 1.0], [[1.0, 1.0], [1.0, 1.0]]
+        )
+        result = better_response_dynamics(
+            game,
+            [0, 1],
+            schedule="round_robin",
+            record_history=True,
+            tol=-1.0,
+            max_steps=1_000,
+        )
+        assert result.cycled
+        assert not result.converged
+        assert len(result.cycle) >= 1
+        assert result.cycle[0] == result.history[-1]
+
+    def test_moves_strictly_improve(self, three_user_game):
+        from repro.model.latency import pure_latency_of_user
+
+        result = better_response_dynamics(
+            three_user_game, [0, 0, 0], record_history=True
+        )
+        for a, b in zip(result.history, result.history[1:]):
+            mover = int(np.flatnonzero(a.links != b.links)[0])
+            before = pure_latency_of_user(three_user_game, a, mover)
+            after = pure_latency_of_user(three_user_game, b, mover)
+            assert after < before

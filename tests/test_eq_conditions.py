@@ -1,0 +1,122 @@
+"""Tests for repro.equilibria.conditions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.game import UncertainRoutingGame
+from repro.model.profiles import MixedProfile, pure_to_mixed
+from repro.equilibria.conditions import (
+    deviation_gains,
+    epsilon_of_profile,
+    is_mixed_nash,
+    is_pure_nash,
+    mixed_regrets,
+    pure_regrets,
+)
+from repro.equilibria.fully_mixed import fully_mixed_candidate
+from repro.generators.games import random_game
+
+
+@pytest.fixture
+def identical_game() -> UncertainRoutingGame:
+    """Two identical users, two identical links — split profiles are NE."""
+    return UncertainRoutingGame.from_capacities(
+        [1.0, 1.0], [[1.0, 1.0], [1.0, 1.0]]
+    )
+
+
+class TestPureNash:
+    def test_split_is_nash(self, identical_game):
+        assert is_pure_nash(identical_game, [0, 1])
+        assert is_pure_nash(identical_game, [1, 0])
+
+    def test_colocated_is_not_nash(self, identical_game):
+        assert not is_pure_nash(identical_game, [0, 0])
+        assert not is_pure_nash(identical_game, [1, 1])
+
+    def test_regrets_zero_at_nash(self, identical_game):
+        np.testing.assert_allclose(pure_regrets(identical_game, [0, 1]), 0.0)
+
+    def test_regret_positive_off_nash(self, identical_game):
+        regrets = pure_regrets(identical_game, [0, 0])
+        assert regrets.max() > 0
+        # Moving to the empty link halves latency from 2 to 1.
+        np.testing.assert_allclose(regrets, [1.0, 1.0])
+
+    def test_deviation_gains_diagonal_zero(self, three_user_game):
+        sigma = np.array([0, 1, 2], dtype=np.intp)
+        gains = deviation_gains(three_user_game, sigma)
+        np.testing.assert_allclose(gains[np.arange(3), sigma], 0.0, atol=1e-12)
+
+    def test_gain_sign_matches_regret(self, three_user_game):
+        sigma = [0, 0, 0]
+        gains = deviation_gains(three_user_game, sigma)
+        regrets = pure_regrets(three_user_game, sigma)
+        for i in range(3):
+            assert regrets[i] == pytest.approx(max(0.0, -gains[i].min()))
+
+    def test_tolerance_accepts_near_ties(self, identical_game):
+        # A user indifferent between links must not be flagged as defector.
+        game = UncertainRoutingGame.from_capacities(
+            [1.0, 1.0], [[1.0, 1.0], [1.0, 1.0]], initial_traffic=[1.0, 0.0]
+        )
+        # user 0 on link 1 (load 2: t=1? no); craft exact tie:
+        # sigma=[1,0]: user0 sees load 1 on link1 => 1; moving to link0 sees 1+1+...
+        assert is_pure_nash(identical_game, [0, 1])
+
+
+class TestMixedNash:
+    def test_uniform_mix_on_identical_game(self, identical_game):
+        p = MixedProfile([[0.5, 0.5], [0.5, 0.5]])
+        assert is_mixed_nash(identical_game, p)
+        np.testing.assert_allclose(mixed_regrets(identical_game, p), 0.0)
+
+    def test_pure_embedding_agrees_with_pure_check(self, three_user_game):
+        from repro.equilibria.enumeration import pure_nash_profiles
+
+        for profile in pure_nash_profiles(three_user_game):
+            mixed = pure_to_mixed(profile, 3, 3)
+            assert is_mixed_nash(three_user_game, mixed)
+
+    def test_non_nash_mixed_detected(self, simple_game):
+        # An arbitrary interior point is almost surely not an equilibrium.
+        p = MixedProfile([[0.9, 0.1], [0.9, 0.1]])
+        fm = fully_mixed_candidate(simple_game)
+        if fm.exists and np.allclose(fm.probabilities, p.matrix):
+            pytest.skip("degenerate coincidence")
+        assert not is_mixed_nash(simple_game, p) or mixed_regrets(
+            simple_game, p
+        ).max() < 1e-9
+
+    def test_fmne_candidate_is_mixed_nash_when_interior(self):
+        hits = 0
+        for seed in range(30):
+            game = random_game(3, 3, concentration=5.0, seed=seed)
+            cand = fully_mixed_candidate(game)
+            if cand.exists:
+                hits += 1
+                assert is_mixed_nash(game, cand.profile(), tol=1e-7)
+        assert hits > 0  # the sweep must actually exercise the check
+
+    def test_regret_detects_support_violation(self, identical_game):
+        # User 1 pure on the slow link while the fast link is lighter:
+        # its single support link is strictly suboptimal.
+        game = UncertainRoutingGame.from_capacities(
+            [1.0, 1.0], [[2.0, 1.0], [2.0, 1.0]]
+        )
+        p = MixedProfile([[0.5, 0.5], [0.0, 1.0]])
+        assert mixed_regrets(game, p)[1] > 0
+
+
+class TestEpsilon:
+    def test_zero_at_pure_nash(self, identical_game):
+        assert epsilon_of_profile(identical_game, [0, 1]) == pytest.approx(0.0)
+
+    def test_positive_off_nash(self, identical_game):
+        assert epsilon_of_profile(identical_game, [0, 0]) > 0
+
+    def test_mixed_profile_accepted(self, identical_game):
+        p = MixedProfile([[0.5, 0.5], [0.5, 0.5]])
+        assert epsilon_of_profile(identical_game, p) == pytest.approx(0.0)

@@ -1,0 +1,93 @@
+"""Tests for exhaustive pure-NE enumeration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.game import UncertainRoutingGame
+from repro.model.social import enumerate_assignments
+from repro.equilibria.conditions import is_pure_nash
+from repro.equilibria.enumeration import (
+    count_pure_nash,
+    exists_pure_nash,
+    pure_nash_mask,
+    pure_nash_profiles,
+)
+from repro.generators.games import random_game
+
+
+class TestPureNashMask:
+    def test_agrees_with_scalar_check(self):
+        game = random_game(4, 3, seed=0)
+        assignments = enumerate_assignments(4, 3)
+        mask = pure_nash_mask(game, assignments)
+        for idx in range(assignments.shape[0]):
+            assert mask[idx] == is_pure_nash(game, assignments[idx])
+
+    def test_agrees_with_initial_traffic(self):
+        game = random_game(3, 3, with_initial_traffic=True, seed=5)
+        assignments = enumerate_assignments(3, 3)
+        mask = pure_nash_mask(game, assignments)
+        for idx in range(assignments.shape[0]):
+            assert mask[idx] == is_pure_nash(game, assignments[idx])
+
+    def test_block_size_invariance(self):
+        game = random_game(4, 3, seed=1)
+        assignments = enumerate_assignments(4, 3)
+        a = pure_nash_mask(game, assignments, block_size=7)
+        b = pure_nash_mask(game, assignments, block_size=100_000)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_wrong_width(self):
+        game = random_game(3, 2, seed=0)
+        with pytest.raises(ModelError):
+            pure_nash_mask(game, np.zeros((4, 5), dtype=np.intp))
+
+
+class TestEnumeration:
+    def test_profiles_are_nash(self):
+        game = random_game(3, 3, seed=2)
+        for profile in pure_nash_profiles(game):
+            assert is_pure_nash(game, profile)
+
+    def test_count_matches_profiles(self):
+        game = random_game(3, 3, seed=3)
+        assert count_pure_nash(game) == len(pure_nash_profiles(game))
+
+    def test_exists_consistent(self):
+        game = random_game(3, 3, seed=4)
+        assert exists_pure_nash(game) == (count_pure_nash(game) > 0)
+
+    def test_identical_two_user_game_has_two_split_equilibria(self):
+        game = UncertainRoutingGame.from_capacities(
+            [1.0, 1.0], [[1.0, 1.0], [1.0, 1.0]]
+        )
+        profiles = {p.as_tuple() for p in pure_nash_profiles(game)}
+        assert profiles == {(0, 1), (1, 0)}
+
+    def test_every_sampled_game_has_a_pure_nash(self):
+        """Conjecture 3.7 in miniature — the library-level regression."""
+        for seed in range(40):
+            game = random_game(3, 3, seed=seed)
+            assert exists_pure_nash(game), f"counterexample at seed {seed}?!"
+
+    def test_limit_enforced(self):
+        game = random_game(2, 2, seed=0)
+        big = UncertainRoutingGame.from_capacities(
+            np.ones(22), np.ones((22, 4))
+        )
+        with pytest.raises(ModelError):
+            pure_nash_profiles(big)
+        with pytest.raises(ModelError):
+            exists_pure_nash(big)
+
+    def test_dominant_link_single_equilibrium(self):
+        # One link vastly better for everyone and capacity gap so large
+        # that sharing still beats switching: all users on link 0.
+        caps = np.tile([100.0, 0.01, 0.01], (3, 1))
+        game = UncertainRoutingGame.from_capacities([1.0, 1.0, 1.0], caps)
+        profiles = pure_nash_profiles(game)
+        assert len(profiles) == 1
+        assert profiles[0].as_tuple() == (0, 0, 0)

@@ -1,0 +1,147 @@
+"""Tests for the fully mixed NE closed form (Section 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFullyMixedError
+from repro.model.game import UncertainRoutingGame
+from repro.model.latency import mixed_latency_matrix
+from repro.equilibria.conditions import is_mixed_nash
+from repro.equilibria.fully_mixed import (
+    fully_mixed_candidate,
+    fully_mixed_nash,
+    has_fully_mixed_nash,
+)
+from repro.generators.games import random_game, random_uniform_beliefs_game
+
+
+class TestClosedForm:
+    def test_rows_sum_to_one_always(self):
+        """Remark 4.4: the candidate rows sum to one even off the simplex."""
+        for seed in range(20):
+            game = random_game(4, 3, seed=seed)
+            cand = fully_mixed_candidate(game)
+            np.testing.assert_allclose(
+                cand.probabilities.sum(axis=1), 1.0, atol=1e-9
+            )
+
+    def test_lemma_4_1_latency_formula(self):
+        game = random_game(3, 4, seed=1)
+        cand = fully_mixed_candidate(game)
+        s = game.capacities.sum(axis=1)
+        expected = ((game.num_links - 1) * game.weights + game.total_traffic) / s
+        np.testing.assert_allclose(cand.latencies, expected)
+
+    def test_lemma_4_2_link_traffic_conservation(self):
+        """Expected link traffics must sum to the total traffic."""
+        for seed in range(10):
+            game = random_game(4, 3, seed=seed)
+            cand = fully_mixed_candidate(game)
+            assert cand.link_traffic.sum() == pytest.approx(game.total_traffic)
+
+    def test_link_traffic_consistent_with_probabilities(self):
+        game = random_game(3, 3, concentration=5.0, seed=6)
+        cand = fully_mixed_candidate(game)
+        implied = cand.probabilities.T @ game.weights
+        np.testing.assert_allclose(implied, cand.link_traffic, atol=1e-9)
+
+    def test_equalised_latencies_when_interior(self):
+        """At the FMNE every user is indifferent across all links and the
+        common value equals Lemma 4.1's lambda_i."""
+        found = 0
+        for seed in range(40):
+            game = random_game(3, 3, concentration=5.0, seed=seed)
+            cand = fully_mixed_candidate(game)
+            if not cand.exists:
+                continue
+            found += 1
+            lat = mixed_latency_matrix(game, cand.profile())
+            np.testing.assert_allclose(
+                lat, np.broadcast_to(cand.latencies[:, None], lat.shape), rtol=1e-9
+            )
+        assert found >= 5
+
+    def test_candidate_is_nash_iff_interior(self):
+        for seed in range(40):
+            game = random_game(3, 3, seed=seed)
+            cand = fully_mixed_candidate(game)
+            if cand.exists:
+                assert is_mixed_nash(game, cand.profile(), tol=1e-7)
+
+    def test_o_nm_evaluation_is_fast(self):
+        """Corollary 4.7: closed form scales to big games trivially."""
+        game = random_game(200, 50, seed=0)
+        cand = fully_mixed_candidate(game)
+        assert cand.probabilities.shape == (200, 50)
+
+
+class TestExistence:
+    def test_fully_mixed_nash_raises_when_absent(self):
+        # Extreme capacity asymmetry destroys interiority.
+        caps = np.array([[100.0, 0.01], [100.0, 0.01]])
+        game = UncertainRoutingGame.from_capacities([1.0, 1.0], caps)
+        cand = fully_mixed_candidate(game)
+        assert not cand.exists
+        with pytest.raises(NotFullyMixedError):
+            fully_mixed_nash(game)
+
+    def test_has_fully_mixed_consistent(self):
+        for seed in range(15):
+            game = random_game(3, 3, seed=seed)
+            cand = fully_mixed_candidate(game)
+            assert has_fully_mixed_nash(game) == cand.exists
+
+    def test_profile_returned_when_exists(self):
+        game = random_uniform_beliefs_game(3, 3, seed=0)
+        profile = fully_mixed_nash(game)
+        assert profile.is_fully_mixed()
+
+    def test_error_message_reports_range(self):
+        caps = np.array([[100.0, 0.01], [100.0, 0.01]])
+        game = UncertainRoutingGame.from_capacities([1.0, 1.0], caps)
+        with pytest.raises(NotFullyMixedError, match="span"):
+            fully_mixed_nash(game)
+
+
+class TestTheorem48:
+    """Uniform user beliefs force the equiprobable fully mixed NE."""
+
+    @pytest.mark.parametrize("n,m", [(2, 2), (3, 3), (4, 2), (5, 5), (7, 3)])
+    def test_equiprobable(self, n, m):
+        game = random_uniform_beliefs_game(n, m, seed=n * 10 + m)
+        cand = fully_mixed_candidate(game)
+        assert cand.exists
+        np.testing.assert_allclose(cand.probabilities, 1.0 / m, atol=1e-12)
+
+    def test_kp_identical_links_equiprobable(self):
+        game = UncertainRoutingGame.kp([1.0, 2.0, 3.0], [2.0, 2.0])
+        cand = fully_mixed_candidate(game)
+        np.testing.assert_allclose(cand.probabilities, 0.5, atol=1e-12)
+
+
+class TestWithInitialTraffic:
+    """The library generalises the closed form to carry initial traffic."""
+
+    def test_rows_still_sum_to_one(self):
+        game = random_game(4, 3, with_initial_traffic=True, seed=9)
+        cand = fully_mixed_candidate(game)
+        np.testing.assert_allclose(cand.probabilities.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_still_nash_when_interior(self):
+        hits = 0
+        for seed in range(40):
+            game = random_game(3, 3, with_initial_traffic=True, seed=seed)
+            cand = fully_mixed_candidate(game)
+            if cand.exists:
+                hits += 1
+                assert is_mixed_nash(game, cand.profile(), tol=1e-7)
+        assert hits > 0
+
+    def test_zero_traffic_matches_paper_form(self):
+        game_zero = random_game(3, 3, seed=12)
+        cand = fully_mixed_candidate(game_zero)
+        s = game_zero.capacities.sum(axis=1)
+        lam = ((3 - 1) * game_zero.weights + game_zero.total_traffic) / s
+        np.testing.assert_allclose(cand.latencies, lam)

@@ -1,0 +1,104 @@
+"""Tests for game graphs (best-/better-response edge structure)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.game import UncertainRoutingGame
+from repro.equilibria.enumeration import pure_nash_profiles
+from repro.equilibria.game_graph import (
+    best_response_graph,
+    better_response_graph,
+    find_response_cycle,
+    sink_states,
+)
+from repro.generators.games import random_game
+
+
+class TestGraphStructure:
+    def test_node_count(self, three_user_game):
+        graph = better_response_graph(three_user_game)
+        assert graph.number_of_nodes() == 27
+
+    def test_best_edges_subset_of_better(self, three_user_game):
+        best = best_response_graph(three_user_game)
+        better = better_response_graph(three_user_game)
+        assert set(best.edges) <= set(better.edges)
+
+    def test_edges_are_unilateral_moves(self, three_user_game):
+        graph = better_response_graph(three_user_game)
+        for u, v in graph.edges:
+            assert sum(a != b for a, b in zip(u, v)) == 1
+
+    def test_edges_strictly_improve(self, three_user_game):
+        from repro.model.latency import pure_latency_of_user
+
+        graph = better_response_graph(three_user_game)
+        for u, v, data in graph.edges(data=True):
+            mover = data["user"]
+            before = pure_latency_of_user(three_user_game, list(u), mover)
+            after = pure_latency_of_user(three_user_game, list(v), mover)
+            assert after < before
+
+    def test_best_response_edges_reach_row_minimum(self, three_user_game):
+        from repro.model.latency import deviation_latencies
+
+        graph = best_response_graph(three_user_game)
+        for u, v, data in graph.edges(data=True):
+            mover = data["user"]
+            dev = deviation_latencies(three_user_game, list(u))
+            assert dev[mover, v[mover]] == pytest.approx(dev[mover].min())
+
+    def test_limit_enforced(self):
+        big = UncertainRoutingGame.from_capacities(np.ones(20), np.ones((20, 3)))
+        with pytest.raises(ModelError):
+            better_response_graph(big)
+
+
+class TestSinks:
+    def test_sinks_are_exactly_pure_nash(self):
+        for seed in range(10):
+            game = random_game(3, 3, seed=seed)
+            graph = better_response_graph(game)
+            sinks = {p.as_tuple() for p in sink_states(graph)}
+            nash = {p.as_tuple() for p in pure_nash_profiles(game)}
+            assert sinks == nash
+
+    def test_best_response_sinks_match_too(self):
+        game = random_game(3, 2, seed=3)
+        graph = best_response_graph(game)
+        sinks = {p.as_tuple() for p in sink_states(graph)}
+        nash = {p.as_tuple() for p in pure_nash_profiles(game)}
+        assert sinks == nash
+
+
+class TestCycles:
+    def test_find_cycle_none_on_dag(self):
+        dag = nx.DiGraph([(0, 1), (1, 2)])
+        assert find_response_cycle(dag) is None
+
+    def test_find_cycle_detects(self):
+        cyc = nx.DiGraph([(0, 1), (1, 2), (2, 0)])
+        cycle = find_response_cycle(cyc)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+
+    def test_sampled_instances_have_acyclic_best_response_graphs(self):
+        """The n=3 existence proof rests on no best-response cycles; random
+        instances agree."""
+        for seed in range(15):
+            game = random_game(3, 3, seed=seed)
+            graph = best_response_graph(game)
+            assert find_response_cycle(graph) is None
+
+    def test_every_state_reaches_a_sink(self):
+        """With an acyclic response graph every trajectory ends at a NE."""
+        game = random_game(3, 2, seed=8)
+        graph = best_response_graph(game)
+        sinks = {p.as_tuple() for p in sink_states(graph)}
+        for node in graph.nodes:
+            reachable = nx.descendants(graph, node) | {node}
+            assert reachable & sinks

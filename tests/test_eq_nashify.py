@@ -1,0 +1,77 @@
+"""Tests for nashification (Feldmann et al. [4], adapted)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmDomainError
+from repro.model.game import UncertainRoutingGame
+from repro.equilibria.conditions import is_pure_nash
+from repro.equilibria.nashify import nashify, nashify_common_beliefs
+from repro.generators.games import random_game, random_kp_game
+from repro.util.rng import as_generator
+
+
+class TestCommonBeliefs:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_returns_pure_nash(self, seed):
+        game = random_kp_game(6, 3, seed=seed)
+        rng = as_generator(seed)
+        start = rng.integers(0, 3, size=6)
+        result = nashify_common_beliefs(game, start)
+        assert is_pure_nash(game, result.profile)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_never_increases_max_congestion(self, seed):
+        """The classic guarantee: objective congestion only improves."""
+        game = random_kp_game(6, 3, seed=100 + seed)
+        rng = as_generator(seed)
+        start = rng.integers(0, 3, size=6)
+        result = nashify_common_beliefs(game, start)
+        assert result.preserved_max_congestion
+        assert result.max_congestion_after <= result.max_congestion_before + 1e-12
+
+    def test_already_nash_zero_steps(self):
+        game = random_kp_game(5, 2, seed=0)
+        from repro.substrates.kp import kp_greedy_nash
+
+        equilibrium = kp_greedy_nash(game)
+        result = nashify_common_beliefs(game, equilibrium)
+        assert result.steps == 0
+        assert result.profile == equilibrium
+
+    def test_rejects_distinct_beliefs(self, simple_game):
+        with pytest.raises(AlgorithmDomainError):
+            nashify_common_beliefs(simple_game, [0, 1])
+
+    def test_worst_start_improves(self):
+        """All users piled on the slowest link must spread out."""
+        game = UncertainRoutingGame.kp([1.0, 1.0, 1.0, 1.0], [4.0, 1.0])
+        result = nashify_common_beliefs(game, [1, 1, 1, 1])
+        assert result.max_congestion_after < result.max_congestion_before
+        assert is_pure_nash(game, result.profile)
+
+
+class TestGeneralNashify:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_returns_pure_nash(self, seed):
+        game = random_game(5, 3, seed=seed)
+        rng = as_generator(seed)
+        start = rng.integers(0, 3, size=5)
+        result = nashify(game, start)
+        assert is_pure_nash(game, result.profile)
+
+    def test_records_costs(self):
+        game = random_game(4, 3, seed=3)
+        result = nashify(game, [0, 0, 0, 0])
+        assert result.sc1_before > 0 and result.sc1_after > 0
+        assert result.sc2_before > 0 and result.sc2_after > 0
+        assert result.steps >= 0
+
+    def test_congestion_guarantee_usually_but_not_always(self):
+        """Without common beliefs the Feldmann-style guarantee is not a
+        theorem; we only require the field to be populated."""
+        game = random_game(4, 3, seed=11)
+        result = nashify(game, [0, 1, 2, 0])
+        assert result.max_congestion_after > 0

@@ -1,0 +1,97 @@
+"""Tests for potential-function analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmDomainError
+from repro.model.game import UncertainRoutingGame
+from repro.equilibria.potential import (
+    exact_potential_cycle_gap,
+    verify_weighted_potential,
+    weighted_potential_common_beliefs,
+)
+from repro.generators.games import random_game, random_kp_game
+
+
+class TestExactPotentialGap:
+    def test_kp_game_weighted_not_exact(self):
+        """Even common-beliefs games are only *weighted* potential games:
+        exact 4-cycle sums are generally nonzero when weights differ."""
+        game = UncertainRoutingGame.kp([1.0, 3.0], [1.0, 2.0])
+        gap = exact_potential_cycle_gap(game)
+        assert gap > 1e-9
+
+    def test_unweighted_identical_links_exact(self):
+        """Equal weights + common beliefs + identical links: the game is an
+        exact potential game (Rosenthal), so all 4-cycle sums vanish."""
+        game = UncertainRoutingGame.kp([1.0, 1.0, 1.0], [2.0, 2.0])
+        assert exact_potential_cycle_gap(game) == pytest.approx(0.0, abs=1e-12)
+
+    def test_general_games_fail_exactness(self):
+        """The reproduction's E6 point: the belief game admits no exact
+        potential — sampled games show nonzero cycle sums."""
+        gaps = [
+            exact_potential_cycle_gap(random_game(3, 3, seed=s)) for s in range(5)
+        ]
+        assert max(gaps) > 1e-6
+
+    def test_sampled_mode_deterministic(self):
+        game = random_game(4, 3, seed=1)
+        a = exact_potential_cycle_gap(game, num_samples=100, seed=7)
+        b = exact_potential_cycle_gap(game, num_samples=100, seed=7)
+        assert a == b
+
+    def test_exhaustive_covers_sampled(self):
+        game = random_game(3, 2, seed=2)
+        exhaustive = exact_potential_cycle_gap(game)
+        sampled = exact_potential_cycle_gap(game, num_samples=400, seed=0)
+        assert sampled <= exhaustive + 1e-12
+
+
+class TestWeightedPotential:
+    def test_requires_common_beliefs(self, simple_game):
+        with pytest.raises(AlgorithmDomainError):
+            weighted_potential_common_beliefs(simple_game, [0, 1])
+
+    def test_value_hand_computed(self):
+        game = UncertainRoutingGame.kp([1.0, 2.0], [1.0, 2.0])
+        # sigma = [0, 1]: link0 load 1, link1 load 2.
+        # Phi = (1 + 1)/(2*1) + (4 + 4)/(2*2) = 1 + 2 = 3
+        assert weighted_potential_common_beliefs(game, [0, 1]) == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_identity_on_random_kp_games(self, seed):
+        game = random_kp_game(4, 3, seed=seed)
+        rng = np.random.default_rng(seed)
+        sigma = rng.integers(0, 3, size=4)
+        user = int(rng.integers(4))
+        link = int(rng.integers(3))
+        assert verify_weighted_potential(game, sigma, user, link)
+
+    def test_identity_with_initial_traffic(self):
+        game = UncertainRoutingGame.kp(
+            [1.0, 2.0, 0.5], [1.0, 3.0], initial_traffic=[0.7, 0.1]
+        )
+        for user in range(3):
+            for link in range(2):
+                assert verify_weighted_potential(game, [0, 1, 0], user, link)
+
+    def test_potential_decreases_along_improvement_move(self):
+        """Improving moves strictly decrease Phi (scaled by w_i > 0)."""
+        from repro.model.latency import pure_latency_of_user
+
+        game = random_kp_game(4, 3, seed=3)
+        sigma = np.zeros(4, dtype=np.intp)
+        phi0 = weighted_potential_common_beliefs(game, sigma)
+        before = pure_latency_of_user(game, sigma, 0)
+        from repro.equilibria.best_response import best_responses
+
+        target = best_responses(game, sigma)[0]
+        moved = sigma.copy()
+        moved[0] = target
+        after = pure_latency_of_user(game, moved, 0)
+        phi1 = weighted_potential_common_beliefs(game, moved)
+        if after < before:
+            assert phi1 < phi0

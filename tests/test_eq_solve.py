@@ -1,0 +1,79 @@
+"""Tests for the dispatching pure-NE solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.game import UncertainRoutingGame
+from repro.equilibria.conditions import is_pure_nash
+from repro.equilibria.solve import solve_pure_nash
+from repro.generators.games import (
+    random_game,
+    random_symmetric_game,
+    random_two_link_game,
+    random_uniform_beliefs_game,
+)
+
+
+class TestDispatch:
+    def test_two_links_uses_atwolinks(self):
+        game = random_two_link_game(5, seed=0)
+        report = solve_pure_nash(game)
+        assert report.method == "atwolinks"
+        assert is_pure_nash(game, report.profile)
+
+    def test_uniform_beliefs_uses_auniform(self):
+        game = random_uniform_beliefs_game(6, 3, seed=1)
+        report = solve_pure_nash(game)
+        assert report.method == "auniform"
+        assert is_pure_nash(game, report.profile)
+
+    def test_symmetric_uses_asymmetric(self):
+        game = random_symmetric_game(5, 3, seed=2)
+        report = solve_pure_nash(game)
+        assert report.method == "asymmetric"
+        assert is_pure_nash(game, report.profile)
+
+    def test_general_uses_dynamics(self):
+        game = random_game(4, 3, seed=3)
+        report = solve_pure_nash(game, seed=0)
+        assert report.method.startswith("brd")
+        assert is_pure_nash(game, report.profile)
+
+    def test_two_links_beats_other_dispatch(self):
+        # m=2 takes precedence even for symmetric users.
+        game = random_symmetric_game(4, 2, seed=4)
+        report = solve_pure_nash(game)
+        assert report.method == "atwolinks"
+
+    def test_symmetric_with_initial_traffic_falls_back(self):
+        game = random_symmetric_game(4, 3, seed=5).with_initial_traffic(
+            [1.0, 0.0, 0.5]
+        )
+        report = solve_pure_nash(game, seed=0)
+        assert report.method != "asymmetric"
+        assert is_pure_nash(game, report.profile)
+
+
+class TestRobustness:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_always_finds_equilibrium(self, seed):
+        game = random_game(4, 3, seed=seed, with_initial_traffic=seed % 2 == 0)
+        report = solve_pure_nash(game, seed=seed)
+        assert is_pure_nash(game, report.profile)
+
+    def test_report_unpacking(self):
+        game = random_two_link_game(3, seed=7)
+        profile, method = solve_pure_nash(game)
+        assert method == "atwolinks"
+        assert is_pure_nash(game, profile)
+
+    def test_enumeration_fallback(self):
+        """With zero restarts the solver goes straight to enumeration."""
+        game = random_game(3, 3, seed=9)
+        report = solve_pure_nash(game, restarts=0, max_steps=0, seed=0)
+        # restarts=0 still attempts one run with max_steps=0 which cannot
+        # converge from a random non-NE start; enumeration then kicks in.
+        assert report.method in ("enumeration", "brd[round_robin]")
+        assert is_pure_nash(game, report.profile)

@@ -1,0 +1,94 @@
+"""Tests for the support-enumeration mixed-NE solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.game import UncertainRoutingGame
+from repro.equilibria.conditions import is_mixed_nash
+from repro.equilibria.enumeration import pure_nash_profiles
+from repro.equilibria.fully_mixed import fully_mixed_candidate
+from repro.equilibria.support_enum import enumerate_mixed_nash, support_profiles
+from repro.generators.games import random_game
+
+
+class TestSupportProfiles:
+    def test_count_two_users_two_links(self):
+        assert len(list(support_profiles(2, 2))) == 9  # (2^2-1)^2
+
+    def test_count_three_users_two_links(self):
+        assert len(list(support_profiles(3, 2))) == 27
+
+    def test_all_supports_nonempty(self):
+        for profile in support_profiles(2, 3):
+            assert all(len(s) >= 1 for s in profile)
+
+
+class TestEnumerateMixedNash:
+    def test_all_results_are_nash(self):
+        game = random_game(3, 2, seed=0)
+        for eq in enumerate_mixed_nash(game):
+            assert is_mixed_nash(game, eq, tol=1e-7)
+
+    def test_includes_every_pure_nash(self):
+        game = random_game(3, 2, seed=1)
+        pure = {p.as_tuple() for p in pure_nash_profiles(game)}
+        mixed = enumerate_mixed_nash(game)
+        recovered = {
+            eq.to_pure().as_tuple() for eq in mixed if eq.is_pure(atol=1e-9)
+        }
+        assert pure <= recovered
+
+    def test_finds_fully_mixed_when_it_exists(self):
+        hits = 0
+        for seed in range(25):
+            game = random_game(2, 2, concentration=5.0, seed=seed)
+            cand = fully_mixed_candidate(game)
+            if not cand.exists:
+                continue
+            hits += 1
+            fm = [e for e in enumerate_mixed_nash(game) if e.is_fully_mixed(atol=1e-9)]
+            assert len(fm) == 1
+            np.testing.assert_allclose(
+                fm[0].matrix, cand.probabilities, atol=1e-7
+            )
+        assert hits >= 3
+
+    def test_uniqueness_of_fully_mixed(self):
+        """Theorem 4.6 cross-check: never two distinct fully mixed NE."""
+        for seed in range(15):
+            game = random_game(3, 2, seed=seed)
+            fm = [e for e in enumerate_mixed_nash(game) if e.is_fully_mixed(atol=1e-9)]
+            assert len(fm) <= 1
+
+    def test_identical_game_has_pure_and_mixed_equilibria(self):
+        """Two identical users on identical links: the split profiles are
+        pure NE and the uniform mix is the (unique) fully mixed NE."""
+        caps = np.ones((2, 2))
+        game = UncertainRoutingGame.from_capacities([1.0, 1.0], caps)
+        eqs = enumerate_mixed_nash(game)
+        pure = {eq.to_pure().as_tuple() for eq in eqs if eq.is_pure(atol=1e-9)}
+        mixed = [eq for eq in eqs if eq.is_fully_mixed(atol=1e-9)]
+        assert pure == {(0, 1), (1, 0)}
+        assert len(mixed) == 1
+        np.testing.assert_allclose(mixed[0].matrix, 0.5, atol=1e-9)
+
+    def test_deduplication(self):
+        game = random_game(2, 2, seed=3)
+        eqs = enumerate_mixed_nash(game)
+        seen = {np.round(e.matrix, 6).tobytes() for e in eqs}
+        assert len(seen) == len(eqs)
+
+    def test_limit_enforced(self):
+        game = UncertainRoutingGame.from_capacities(
+            np.ones(8), np.ones((8, 4))
+        )
+        with pytest.raises(ModelError):
+            enumerate_mixed_nash(game)
+
+    def test_with_initial_traffic(self):
+        game = random_game(2, 2, with_initial_traffic=True, seed=5)
+        for eq in enumerate_mixed_nash(game):
+            assert is_mixed_nash(game, eq, tol=1e-7)

@@ -1,0 +1,119 @@
+"""Tests for Algorithms Asymmetric (Fig. 2) and Auniform (Fig. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmDomainError
+from repro.model.game import UncertainRoutingGame
+from repro.equilibria.conditions import is_pure_nash
+from repro.equilibria.symmetric import asymmetric
+from repro.equilibria.uniform import auniform
+from repro.generators.games import (
+    random_symmetric_game,
+    random_uniform_beliefs_game,
+)
+
+
+class TestAsymmetric:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_returns_nash_random(self, seed):
+        game = random_symmetric_game(6, 3, seed=seed)
+        assert is_pure_nash(game, asymmetric(game))
+
+    @pytest.mark.parametrize("n,m", [(2, 2), (4, 3), (9, 5), (16, 4), (25, 7)])
+    def test_various_shapes(self, n, m):
+        game = random_symmetric_game(n, m, seed=n * 100 + m)
+        assert is_pure_nash(game, asymmetric(game))
+
+    def test_weight_scale_invariance(self):
+        """Identical weights cancel in comparisons: any common weight gives
+        the same equilibrium profile."""
+        a = random_symmetric_game(6, 3, weight=1.0, seed=3)
+        b = UncertainRoutingGame(np.full(6, 17.5), a.beliefs)
+        assert asymmetric(a) == asymmetric(b)
+
+    def test_rejects_asymmetric_weights(self, simple_game):
+        with pytest.raises(AlgorithmDomainError):
+            asymmetric(simple_game)
+
+    def test_rejects_initial_traffic(self):
+        game = random_symmetric_game(4, 2, seed=0).with_initial_traffic([1.0, 0.0])
+        with pytest.raises(AlgorithmDomainError):
+            asymmetric(game)
+
+    def test_point_mass_beliefs(self):
+        """The KP symmetric case is covered too."""
+        game = UncertainRoutingGame.kp([1.0] * 5, [1.0, 2.0, 3.0])
+        assert is_pure_nash(game, asymmetric(game))
+
+    def test_all_users_prefer_one_link(self):
+        caps = np.tile([10.0, 0.1, 0.1], (4, 1))
+        game = UncertainRoutingGame.from_capacities([1.0] * 4, caps)
+        profile = asymmetric(game)
+        assert is_pure_nash(game, profile)
+
+    def test_deterministic(self):
+        game = random_symmetric_game(7, 3, seed=9)
+        assert asymmetric(game) == asymmetric(game)
+
+
+class TestAuniform:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_returns_nash_random(self, seed):
+        game = random_uniform_beliefs_game(7, 3, seed=seed)
+        assert is_pure_nash(game, auniform(game))
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_with_initial_traffic(self, seed):
+        game = random_uniform_beliefs_game(
+            6, 4, with_initial_traffic=True, seed=seed
+        )
+        assert is_pure_nash(game, auniform(game))
+
+    @pytest.mark.parametrize("n,m", [(2, 2), (10, 3), (50, 5), (200, 8)])
+    def test_various_shapes(self, n, m):
+        game = random_uniform_beliefs_game(n, m, seed=n + m)
+        assert is_pure_nash(game, auniform(game))
+
+    def test_rejects_non_uniform(self, simple_game):
+        with pytest.raises(AlgorithmDomainError):
+            auniform(simple_game)
+
+    def test_lpt_structure(self):
+        """With all-equal user capacities this is exactly LPT: the heaviest
+        user lands alone, loads end up balanced."""
+        caps = np.ones((4, 2))
+        game = UncertainRoutingGame.from_capacities([4.0, 3.0, 2.0, 1.0], caps)
+        profile = auniform(game)
+        loads = np.bincount(profile.links, weights=game.weights, minlength=2)
+        # LPT: 4 -> A, 3 -> B, 2 -> B(3<4), 1 -> A(4<5): perfectly balanced.
+        assert sorted(loads.tolist()) == [5.0, 5.0]
+        assert is_pure_nash(game, profile)
+
+    def test_equal_weights_round_robin(self):
+        caps = np.ones((4, 4))
+        game = UncertainRoutingGame.from_capacities([1.0] * 4, caps)
+        profile = auniform(game)
+        # Four users, four identical empty links: all separate.
+        assert sorted(profile.as_tuple()) == [0, 1, 2, 3]
+
+    def test_fills_least_loaded_initial_traffic(self):
+        caps = np.ones((2, 3))
+        game = UncertainRoutingGame.from_capacities(
+            [1.0, 1.0], caps, initial_traffic=[5.0, 0.0, 3.0]
+        )
+        profile = auniform(game)
+        assert is_pure_nash(game, profile)
+        # Both users head for the emptiest links.
+        assert 0 not in profile.as_tuple()
+
+    def test_deterministic(self):
+        game = random_uniform_beliefs_game(9, 3, seed=4)
+        assert auniform(game) == auniform(game)
+
+    def test_kp_identical_links_is_uniform_domain(self):
+        game = UncertainRoutingGame.kp([3.0, 2.0, 1.0], [2.0, 2.0])
+        assert game.has_uniform_beliefs()
+        assert is_pure_nash(game, auniform(game))

@@ -1,0 +1,120 @@
+"""Tests for Algorithm Atwolinks (Figure 1 / Theorem 3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmDomainError
+from repro.model.game import UncertainRoutingGame
+from repro.equilibria.conditions import is_pure_nash
+from repro.equilibria.enumeration import pure_nash_profiles
+from repro.equilibria.two_links import atwolinks, tolerances
+from repro.generators.games import random_two_link_game
+
+
+class TestTolerances:
+    def test_definition_balance_equation(self):
+        """alpha solves (t_j + a)/c_j == (t_{j+1} + T - a + w_i)/c_{j+1}."""
+        game = random_two_link_game(4, with_initial_traffic=True, seed=0)
+        alpha = tolerances(game)
+        t = game.initial_traffic
+        T = game.total_traffic
+        for i in range(game.num_users):
+            for j in (0, 1):
+                o = 1 - j
+                lhs = (t[j] + alpha[i, j]) / game.capacities[i, j]
+                rhs = (t[o] + T - alpha[i, j] + game.weights[i]) / game.capacities[i, o]
+                assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_matches_figure1_closed_form(self):
+        game = random_two_link_game(5, seed=1)
+        alpha = tolerances(game)
+        c = game.capacities
+        t = game.initial_traffic
+        T = game.total_traffic
+        w = game.weights
+        harm = c[:, 0] * c[:, 1] / (c[:, 0] + c[:, 1])
+        expected0 = harm * ((t[1] + T + w) / c[:, 1] - t[0] / c[:, 0])
+        np.testing.assert_allclose(alpha[:, 0], expected0)
+
+    def test_lemma_3_2_characterisation(self):
+        """User i on link j is satisfied iff load on j <= alpha_i^j."""
+        for seed in range(10):
+            game = random_two_link_game(4, with_initial_traffic=True, seed=seed)
+            alpha = tolerances(game)
+            rng = np.random.default_rng(seed)
+            sigma = rng.integers(0, 2, size=4)
+            loads = np.bincount(sigma, weights=game.weights, minlength=2)
+            from repro.equilibria.conditions import deviation_gains
+
+            gains = deviation_gains(game, sigma)
+            for i in range(4):
+                j = sigma[i]
+                satisfied = gains[i, 1 - j] >= -1e-9
+                lemma = loads[j] <= alpha[i, j] + 1e-9
+                assert satisfied == lemma
+
+    def test_requires_two_links(self, three_user_game):
+        with pytest.raises(AlgorithmDomainError):
+            tolerances(three_user_game)
+
+    def test_subset_of_users(self):
+        game = random_two_link_game(6, seed=2)
+        alpha_all = tolerances(game)
+        alpha_sub = tolerances(game, users=np.array([1, 4]))
+        np.testing.assert_allclose(alpha_sub, alpha_all[[1, 4]])
+
+
+class TestAtwolinks:
+    def test_returns_nash_basic(self, simple_game):
+        profile = atwolinks(simple_game)
+        assert is_pure_nash(simple_game, profile)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_returns_nash_random(self, seed):
+        game = random_two_link_game(6, seed=seed)
+        assert is_pure_nash(game, atwolinks(game))
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_returns_nash_with_initial_traffic(self, seed):
+        game = random_two_link_game(5, with_initial_traffic=True, seed=seed)
+        assert is_pure_nash(game, atwolinks(game))
+
+    @pytest.mark.parametrize("n", [2, 3, 7, 15, 40])
+    def test_scales_over_users(self, n):
+        game = random_two_link_game(n, seed=n)
+        assert is_pure_nash(game, atwolinks(game))
+
+    def test_result_among_enumerated_equilibria(self):
+        game = random_two_link_game(5, seed=77)
+        result = atwolinks(game)
+        nash_set = {p.as_tuple() for p in pure_nash_profiles(game)}
+        assert result.as_tuple() in nash_set
+
+    def test_rejects_three_links(self, three_user_game):
+        with pytest.raises(AlgorithmDomainError):
+            atwolinks(three_user_game)
+
+    def test_kp_special_case(self, kp_game_fixture):
+        assert is_pure_nash(kp_game_fixture, atwolinks(kp_game_fixture))
+
+    def test_deterministic(self):
+        game = random_two_link_game(8, seed=5)
+        assert atwolinks(game) == atwolinks(game)
+
+    def test_heavily_asymmetric_capacities(self):
+        # One link effectively useless for everyone: all users pile on the
+        # good link and that *is* the equilibrium.
+        caps = np.array([[10.0, 0.01], [10.0, 0.01], [10.0, 0.01]])
+        game = UncertainRoutingGame.from_capacities([1.0, 1.0, 1.0], caps)
+        profile = atwolinks(game)
+        assert is_pure_nash(game, profile)
+        assert profile.as_tuple() == (0, 0, 0)
+
+    def test_opposing_beliefs_split_users(self):
+        # Each user is certain a different link is fast: they separate.
+        caps = np.array([[10.0, 0.1], [0.1, 10.0]])
+        game = UncertainRoutingGame.from_capacities([1.0, 1.0], caps)
+        profile = atwolinks(game)
+        assert profile.as_tuple() == (0, 1)

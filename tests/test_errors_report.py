@@ -1,0 +1,109 @@
+"""Tests for the error hierarchy and the markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AlgorithmDomainError,
+    BeliefError,
+    ConvergenceError,
+    DimensionError,
+    ModelError,
+    NoEquilibriumError,
+    NotFullyMixedError,
+    ReproError,
+    SolverError,
+)
+from repro.experiments.base import ExperimentResult
+from repro.experiments.report import (
+    DEVIATIONS,
+    PAPER_CLAIMS,
+    ReportRun,
+    render_markdown,
+    run_all,
+)
+from repro.util.tables import Table
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ModelError, DimensionError, BeliefError, AlgorithmDomainError,
+            SolverError, NoEquilibriumError, NotFullyMixedError,
+            ConvergenceError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_model_errors_are_value_errors(self):
+        assert issubclass(ModelError, ValueError)
+        assert issubclass(DimensionError, ModelError)
+        assert issubclass(BeliefError, ModelError)
+
+    def test_solver_errors_are_runtime_errors(self):
+        assert issubclass(SolverError, RuntimeError)
+        assert issubclass(NotFullyMixedError, NoEquilibriumError)
+        assert issubclass(ConvergenceError, SolverError)
+
+    def test_catchability(self):
+        with pytest.raises(ReproError):
+            raise NotFullyMixedError("x")
+        with pytest.raises(ValueError):
+            raise DimensionError("x")
+
+
+class TestReport:
+    def test_paper_claims_cover_all_experiments(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        assert set(PAPER_CLAIMS) == set(EXPERIMENTS)
+
+    def test_deviations_subset_of_experiments(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        assert set(DEVIATIONS) <= set(EXPERIMENTS)
+
+    def test_run_all_subset(self):
+        run = run_all(quick=True, ids=["E8"])
+        assert len(run.results) == 1
+        assert run.results[0].experiment_id == "E8"
+        assert run.all_passed
+        assert "E8" in run.elapsed
+
+    def test_render_markdown_structure(self):
+        table = Table(["a"], title="t")
+        table.add_row([1])
+        run = ReportRun(
+            results=[
+                ExperimentResult(
+                    "E6", "demo", passed=True, tables=[table],
+                    details={"k": 1},
+                )
+            ],
+            elapsed={"E6": 1.25},
+        )
+        text = render_markdown(run)
+        assert "# EXPERIMENTS" in text
+        assert "| E6 | demo | PASS | 1.2 |" in text or "PASS" in text
+        assert "```" in text
+        assert "Deviation / substitution note" in text  # E6 has one
+        assert "k=1" in text
+
+    def test_render_fail_verdict(self):
+        run = ReportRun(
+            results=[ExperimentResult("E1", "demo", passed=False)],
+            elapsed={"E1": 0.1},
+        )
+        text = render_markdown(run)
+        assert "FAIL" in text
+        assert not run.all_passed
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        code = main(["report", "-o", str(out), "--quick", "--ids", "E8"])
+        assert code == 0
+        content = out.read_text()
+        assert "E8" in content
+        assert "PASS" in content

@@ -1,0 +1,46 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+(The two long-running examples — conjecture_hunt and isp_uncertainty —
+are exercised indirectly: their library entry points have dedicated
+tests; running them here would dominate suite time.)
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.skipif(not EXAMPLES.exists(), reason="examples not present")
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "pure NE via atwolinks" in out
+        assert "SC1" in out and "SC2" in out
+        assert "Theorem 4.14 upper bound" in out
+
+    def test_worst_case_anarchy(self, capsys):
+        out = run_example("worst_case_anarchy.py", capsys)
+        assert "Lemma 4.9 per-user dominance holds: True" in out
+        assert "Theorem 4.14 bound" in out
+
+    def test_kp_vs_uncertain(self, capsys):
+        out = run_example("kp_vs_uncertain.py", capsys)
+        assert "P(truth)" in out
+        assert "objective max congestion" in out
+
+    def test_nashification(self, capsys):
+        out = run_example("nashification.py", capsys)
+        assert "nashify never worsens max congestion" in out
+        # Every common-beliefs row must report the guarantee as preserved.
+        assert "NO" not in out.split("Distinct beliefs")[0]

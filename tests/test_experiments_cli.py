@@ -1,0 +1,68 @@
+"""Tests for the experiment registry, quick runners and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.cli import build_parser, main
+from repro.util.tables import Table
+
+
+class TestRegistry:
+    def test_all_twelve_registered(self):
+        assert list(EXPERIMENTS) == [f"E{i}" for i in range(1, 13)]
+
+    def test_get_experiment_case_insensitive(self):
+        assert get_experiment("e5") is EXPERIMENTS["E5"][1]
+
+    def test_unknown_raises_with_guidance(self):
+        with pytest.raises(KeyError, match="valid ids"):
+            get_experiment("E99")
+
+
+class TestQuickRunners:
+    """Every experiment must run and pass in quick mode. These are the
+    reproduction's integration tests: a failure here means a paper claim
+    no longer holds in the implementation."""
+
+    @pytest.mark.parametrize("experiment_id", list(EXPERIMENTS))
+    def test_quick_run_passes(self, experiment_id):
+        result = run_experiment(experiment_id, quick=True)
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == experiment_id
+        assert result.passed, result.render()
+        assert result.tables
+        for table in result.tables:
+            assert isinstance(table, Table)
+
+    def test_render_contains_verdict(self):
+        result = run_experiment("E8", quick=True)
+        assert "PASS" in result.render()
+
+
+class TestCli:
+    def test_parser_list(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_parser_run(self):
+        args = build_parser().parse_args(["run", "E1", "E2", "--quick"])
+        assert args.ids == ["E1", "E2"]
+        assert args.quick
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E12" in out
+
+    def test_run_command_quick(self, capsys):
+        assert main(["run", "E8", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "all experiments passed" in out
+
+    def test_run_requires_ids(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])

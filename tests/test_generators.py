@@ -1,0 +1,126 @@
+"""Tests for the instance generators and workload suites."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.generators.games import (
+    random_game,
+    random_kp_game,
+    random_symmetric_game,
+    random_two_link_game,
+    random_uniform_beliefs_game,
+    random_weights,
+)
+from repro.generators.suites import (
+    conjecture_grid,
+    poa_grid,
+    scaling_sizes,
+    small_verification_grid,
+)
+
+
+class TestRandomWeights:
+    @pytest.mark.parametrize("kind", ["uniform", "exponential", "lognormal", "integer"])
+    def test_positive(self, kind):
+        w = random_weights(10, kind=kind, seed=0)
+        assert w.shape == (10,)
+        assert np.all(w > 0)
+
+    def test_integer_kind_is_integral(self):
+        w = random_weights(10, kind="integer", seed=1)
+        np.testing.assert_array_equal(w, np.round(w))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ModelError):
+            random_weights(5, kind="gaussian")  # type: ignore[arg-type]
+
+    def test_too_few_users(self):
+        with pytest.raises(ModelError):
+            random_weights(1)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            random_weights(5, seed=3), random_weights(5, seed=3)
+        )
+
+
+class TestGenerators:
+    def test_random_game_shape(self):
+        game = random_game(4, 3, num_states=5, seed=0)
+        assert game.num_users == 4
+        assert game.num_links == 3
+        assert game.beliefs.states.num_states == 5
+
+    def test_random_game_deterministic(self):
+        a = random_game(4, 3, seed=9)
+        b = random_game(4, 3, seed=9)
+        np.testing.assert_array_equal(a.capacities, b.capacities)
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_initial_traffic_flag(self):
+        game = random_game(3, 3, with_initial_traffic=True, seed=1)
+        assert game.initial_traffic.max() > 0
+        game0 = random_game(3, 3, with_initial_traffic=False, seed=1)
+        assert game0.initial_traffic.max() == 0
+
+    def test_two_link_game(self):
+        game = random_two_link_game(5, seed=2)
+        assert game.num_links == 2
+
+    def test_symmetric_game(self):
+        game = random_symmetric_game(6, 3, weight=2.5, seed=3)
+        assert game.has_symmetric_users()
+        assert game.weights[0] == pytest.approx(2.5)
+
+    def test_symmetric_rejects_bad_weight(self):
+        with pytest.raises(ModelError):
+            random_symmetric_game(4, 2, weight=0.0)
+
+    def test_uniform_beliefs_game(self):
+        game = random_uniform_beliefs_game(5, 4, seed=4)
+        assert game.has_uniform_beliefs()
+
+    def test_kp_game(self):
+        game = random_kp_game(4, 3, seed=5)
+        assert game.is_kp()
+
+    def test_concentration_controls_spread(self):
+        """Low concentration -> confident users -> effective capacities
+        close to a single state's; high concentration -> averaged."""
+        confident = random_game(3, 3, concentration=0.05, seed=6)
+        vague = random_game(3, 3, concentration=50.0, seed=6)
+        # Vague users share nearly identical effective capacities.
+        spread_vague = np.ptp(vague.capacities, axis=0).max()
+        spread_conf = np.ptp(confident.capacities, axis=0).max()
+        assert spread_vague < spread_conf
+
+
+class TestSuites:
+    def test_conjecture_grid_is_exhaustively_checkable(self):
+        for cell in conjecture_grid():
+            assert cell.num_links**cell.num_users <= 100_000
+
+    def test_small_verification_grid_supports_enumeration(self):
+        for cell in small_verification_grid():
+            assert (2**cell.num_links - 1) ** cell.num_users <= 300_000
+
+    def test_poa_grid_sizes(self):
+        for cell in poa_grid():
+            assert cell.num_links**cell.num_users <= 200_000
+
+    def test_scaling_sizes_monotone(self):
+        for name in ("atwolinks", "asymmetric", "auniform"):
+            sizes = scaling_sizes(name)
+            assert sizes == sorted(sizes)
+            assert len(sizes) >= 4
+
+    def test_scaling_unknown(self):
+        with pytest.raises(KeyError):
+            scaling_sizes("nope")
+
+    def test_replications_parameter(self):
+        cells = list(conjecture_grid(replications=7))
+        assert all(c.replications == 7 for c in cells)

@@ -1,0 +1,153 @@
+"""End-to-end integration tests: build -> solve -> analyse pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BeliefProfile,
+    StateSpace,
+    UncertainRoutingGame,
+    coordination_ratios,
+    enumerate_mixed_nash,
+    fully_mixed_candidate,
+    is_mixed_nash,
+    is_pure_nash,
+    kp_game,
+    opt1,
+    opt2,
+    poa_bound_general,
+    sc1,
+    sc2,
+    solve_pure_nash,
+    verify_fmne_dominance,
+)
+from repro.model.beliefs import Belief, point_mass_belief
+from repro.substrates.kp import expected_max_congestion, kp_greedy_nash
+
+
+class TestIspScenario:
+    """The paper's motivating story: users with different information
+    sources routing over links whose capacity depends on transient
+    congestion states."""
+
+    @pytest.fixture
+    def scenario(self) -> UncertainRoutingGame:
+        base = np.array([10.0, 6.0, 4.0])
+        states = StateSpace.perturbations(base, factors=(0.25, 1.0, 1.5))
+        beliefs = BeliefProfile.from_matrix(
+            states,
+            [
+                [0.7, 0.2, 0.1],  # pessimist: expects congestion
+                [0.1, 0.8, 0.1],  # well-informed
+                [0.05, 0.15, 0.8],  # optimist
+                [1 / 3, 1 / 3, 1 / 3],  # ignorant
+            ],
+        )
+        return UncertainRoutingGame([4.0, 2.0, 2.0, 1.0], beliefs)
+
+    def test_full_pipeline(self, scenario):
+        profile, method = solve_pure_nash(scenario, seed=0)
+        assert is_pure_nash(scenario, profile)
+        s1 = sc1(scenario, profile)
+        s2 = sc2(scenario, profile)
+        assert s2 <= s1
+        r1, r2 = coordination_ratios(scenario, profile)
+        assert 1.0 - 1e-9 <= r1 <= poa_bound_general(scenario)
+        assert 1.0 - 1e-9 <= r2 <= poa_bound_general(scenario)
+
+    def test_fmne_pipeline(self, scenario):
+        cand = fully_mixed_candidate(scenario)
+        np.testing.assert_allclose(cand.probabilities.sum(axis=1), 1.0)
+        if cand.exists:
+            assert is_mixed_nash(scenario, cand.profile(), tol=1e-7)
+            assert sc1(scenario, cand.profile()) == pytest.approx(
+                float(cand.latencies.sum()), rel=1e-9
+            )
+
+    def test_belief_spread_changes_equilibrium_cost(self, scenario):
+        """Replacing everyone's belief with the truth (state 1) changes
+        subjective costs — uncertainty is load-bearing in the model."""
+        truth = StateSpace.perturbations(
+            np.array([10.0, 6.0, 4.0]), factors=(0.25, 1.0, 1.5)
+        )
+        informed = BeliefProfile(
+            truth, [point_mass_belief(3, 1)] * scenario.num_users
+        )
+        kp_version = UncertainRoutingGame(scenario.weights, informed)
+        p1, _ = solve_pure_nash(scenario, seed=0)
+        p2, _ = solve_pure_nash(kp_version, seed=0)
+        assert is_pure_nash(kp_version, p2)
+        # The equilibria live in different subjective economies; both exist.
+        assert sc1(scenario, p1) > 0 and sc1(kp_version, p2) > 0
+
+
+class TestKpBackwardsCompatibility:
+    """The model must collapse to the KP-model exactly."""
+
+    def test_kp_equivalence_of_latencies(self):
+        weights = [2.0, 1.0, 1.5]
+        caps = [1.0, 2.0]
+        game = kp_game(weights, caps)
+        from repro.model.latency import pure_latencies
+
+        sigma = [0, 1, 0]
+        lat = pure_latencies(game, sigma)
+        np.testing.assert_allclose(lat, [3.5 / 1.0, 1.0 / 2.0, 3.5 / 1.0])
+
+    def test_greedy_and_dispatch_agree_on_nashhood(self):
+        game = kp_game([3.0, 2.0, 2.0, 1.0], [2.0, 1.0])
+        greedy = kp_greedy_nash(game)
+        dispatched, _ = solve_pure_nash(game)
+        assert is_pure_nash(game, greedy)
+        assert is_pure_nash(game, dispatched)
+
+    def test_classic_social_cost_vs_subjective(self):
+        game = kp_game([1.0, 1.0], [1.0, 1.0])
+        profile = [0, 1]
+        # With complete information SC2 equals the classic max congestion.
+        assert sc2(game, profile) == pytest.approx(
+            expected_max_congestion(game, profile)
+        )
+
+
+class TestCrossSolverConsistency:
+    def test_all_solvers_find_equilibria_of_same_game(self):
+        """A symmetric two-link uniform-beliefs game is in every special
+        case's domain; all three algorithms must return (possibly
+        different) pure NE of it."""
+        from repro.equilibria.symmetric import asymmetric
+        from repro.equilibria.two_links import atwolinks
+        from repro.equilibria.uniform import auniform
+
+        caps = np.repeat(np.full((4, 1), 2.0), 2, axis=1)
+        game = UncertainRoutingGame.from_capacities([1.0] * 4, caps)
+        for solver in (atwolinks, asymmetric, auniform):
+            assert is_pure_nash(game, solver(game))
+
+    def test_enumeration_confirms_solver_outputs(self):
+        from repro.equilibria.enumeration import pure_nash_profiles
+        from repro.generators.games import random_game
+
+        game = random_game(4, 3, seed=17)
+        report = solve_pure_nash(game, seed=1)
+        nash_set = {p.as_tuple() for p in pure_nash_profiles(game)}
+        assert report.profile.as_tuple() in nash_set
+
+    def test_optimum_below_equilibrium_costs(self):
+        from repro.generators.games import random_game
+
+        game = random_game(4, 2, seed=23)
+        report = solve_pure_nash(game, seed=2)
+        assert opt1(game) <= sc1(game, report.profile) + 1e-9
+        assert opt2(game) <= sc2(game, report.profile) + 1e-9
+
+    def test_dominance_pipeline_on_verified_game(self):
+        from repro.generators.games import random_game
+
+        game = random_game(3, 2, seed=31)
+        report = verify_fmne_dominance(game)
+        assert report.holds
+        eqs = enumerate_mixed_nash(game)
+        assert len(eqs) == len(report.equilibria)

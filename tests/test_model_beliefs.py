@@ -1,0 +1,186 @@
+"""Tests for repro.model.beliefs — incl. the effective-capacity reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import BeliefError, DimensionError
+from repro.model.beliefs import (
+    Belief,
+    BeliefProfile,
+    common_belief_profile,
+    dirichlet_belief,
+    point_mass_belief,
+    uniform_belief,
+)
+from repro.model.state import StateSpace
+
+
+class TestBelief:
+    def test_probabilities_normalised(self):
+        b = Belief([0.5, 0.5])
+        np.testing.assert_allclose(b.probabilities, [0.5, 0.5])
+
+    def test_rejects_non_distribution(self):
+        with pytest.raises(BeliefError):
+            Belief([0.5, 0.6])
+
+    def test_probability_of(self):
+        b = Belief([0.3, 0.7])
+        assert b.probability_of(1) == pytest.approx(0.7)
+
+    def test_support(self):
+        b = Belief([0.0, 1.0, 0.0])
+        np.testing.assert_array_equal(b.support(), [1])
+
+    def test_point_mass_detection(self):
+        assert Belief([0.0, 1.0]).is_point_mass()
+        assert not Belief([0.5, 0.5]).is_point_mass()
+
+    def test_read_only(self):
+        b = Belief([0.5, 0.5])
+        with pytest.raises(ValueError):
+            b.probabilities[0] = 0.9
+
+    def test_equality_hash(self):
+        assert Belief([0.5, 0.5]) == Belief([0.5, 0.5])
+        assert hash(Belief([0.5, 0.5])) == hash(Belief([0.5, 0.5]))
+
+    def test_eq_other_type(self):
+        assert Belief([1.0]).__eq__("x") is NotImplemented
+
+
+class TestEffectiveCapacities:
+    def test_point_mass_recovers_state(self):
+        states = StateSpace([[1.0, 2.0], [4.0, 8.0]])
+        b = point_mass_belief(2, 1)
+        np.testing.assert_allclose(b.effective_capacities(states), [4.0, 8.0])
+
+    def test_harmonic_mean_formula(self):
+        states = StateSpace([[1.0, 1.0], [3.0, 1.0]])
+        b = Belief([0.5, 0.5])
+        # 1 / (0.5/1 + 0.5/3) = 1 / (2/3) = 1.5 on link 0
+        np.testing.assert_allclose(b.effective_capacities(states), [1.5, 1.0])
+
+    def test_effective_capacity_below_arithmetic_mean(self):
+        # Harmonic-type mean <= arithmetic mean (Jensen).
+        states = StateSpace([[1.0, 5.0], [9.0, 5.0]])
+        b = Belief([0.5, 0.5])
+        eff = b.effective_capacities(states)
+        assert eff[0] < 5.0
+        assert eff[1] == pytest.approx(5.0)
+
+    def test_dimension_mismatch(self):
+        states = StateSpace([[1.0, 2.0]])
+        with pytest.raises(DimensionError):
+            Belief([0.5, 0.5]).effective_capacities(states)
+
+    def test_expected_inverse_capacities(self):
+        states = StateSpace([[2.0, 4.0]])
+        b = Belief([1.0])
+        np.testing.assert_allclose(
+            b.expected_inverse_capacities(states), [0.5, 0.25]
+        )
+
+
+class TestFactories:
+    def test_point_mass(self):
+        b = point_mass_belief(3, 2)
+        np.testing.assert_array_equal(b.probabilities, [0.0, 0.0, 1.0])
+
+    def test_point_mass_out_of_range(self):
+        with pytest.raises(BeliefError):
+            point_mass_belief(2, 2)
+
+    def test_uniform(self):
+        b = uniform_belief(4)
+        np.testing.assert_allclose(b.probabilities, 0.25)
+
+    def test_uniform_rejects_zero(self):
+        with pytest.raises(BeliefError):
+            uniform_belief(0)
+
+    def test_dirichlet_is_distribution(self):
+        b = dirichlet_belief(5, seed=0)
+        assert b.probabilities.sum() == pytest.approx(1.0)
+        assert np.all(b.probabilities > 0)
+
+    def test_dirichlet_deterministic(self):
+        a = dirichlet_belief(4, seed=3)
+        b = dirichlet_belief(4, seed=3)
+        assert a == b
+
+    def test_dirichlet_concentration_extremes(self):
+        confident = dirichlet_belief(4, concentration=0.05, seed=1)
+        vague = dirichlet_belief(4, concentration=100.0, seed=1)
+        assert confident.probabilities.max() > vague.probabilities.max()
+
+    def test_dirichlet_rejects_bad_concentration(self):
+        with pytest.raises(BeliefError):
+            dirichlet_belief(3, concentration=0.0)
+
+
+class TestBeliefProfile:
+    def test_from_matrix(self, two_state_space):
+        p = BeliefProfile.from_matrix(two_state_space, [[1.0, 0.0], [0.0, 1.0]])
+        assert p.num_users == 2
+
+    def test_from_matrix_wrong_width(self, two_state_space):
+        with pytest.raises(DimensionError):
+            BeliefProfile.from_matrix(two_state_space, [[0.5, 0.3, 0.2]])
+
+    def test_mismatched_belief_size(self, two_state_space):
+        with pytest.raises(DimensionError):
+            BeliefProfile(two_state_space, [Belief([1.0])])
+
+    def test_empty_rejected(self, two_state_space):
+        with pytest.raises(BeliefError):
+            BeliefProfile(two_state_space, [])
+
+    def test_belief_of_roundtrip(self, two_state_space):
+        p = BeliefProfile.from_matrix(two_state_space, [[0.9, 0.1], [0.2, 0.8]])
+        np.testing.assert_allclose(p.belief_of(1).probabilities, [0.2, 0.8])
+
+    def test_iter(self, two_state_space):
+        p = BeliefProfile.from_matrix(two_state_space, [[1.0, 0.0], [0.0, 1.0]])
+        assert len(list(p)) == 2
+
+    def test_effective_capacities_shape(self, two_state_space):
+        p = BeliefProfile.random(two_state_space, 3, seed=0)
+        assert p.effective_capacities().shape == (3, 2)
+
+    def test_effective_capacities_match_per_user(self, two_state_space):
+        p = BeliefProfile.random(two_state_space, 3, seed=1)
+        full = p.effective_capacities()
+        for i in range(3):
+            np.testing.assert_allclose(
+                full[i], p.belief_of(i).effective_capacities(two_state_space)
+            )
+
+    def test_is_common(self, two_state_space):
+        common = common_belief_profile(two_state_space, 3, Belief([0.4, 0.6]))
+        assert common.is_common()
+        distinct = BeliefProfile.from_matrix(
+            two_state_space, [[1.0, 0.0], [0.0, 1.0]]
+        )
+        assert not distinct.is_common()
+
+    def test_is_kp(self, two_state_space):
+        kp = common_belief_profile(two_state_space, 2, point_mass_belief(2, 0))
+        assert kp.is_kp()
+        soft = common_belief_profile(two_state_space, 2, Belief([0.6, 0.4]))
+        assert not soft.is_kp()
+
+    def test_random_deterministic(self, two_state_space):
+        a = BeliefProfile.random(two_state_space, 4, seed=5)
+        b = BeliefProfile.random(two_state_space, 4, seed=5)
+        np.testing.assert_array_equal(a.matrix, b.matrix)
+
+    def test_common_belief_profile_rejects_zero_users(self, two_state_space):
+        with pytest.raises(BeliefError):
+            common_belief_profile(two_state_space, 0, Belief([0.5, 0.5]))
+
+    def test_repr(self, two_state_space):
+        p = BeliefProfile.random(two_state_space, 2, seed=0)
+        assert "num_users=2" in repr(p)

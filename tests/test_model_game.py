@@ -1,0 +1,154 @@
+"""Tests for repro.model.game."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, ModelError
+from repro.model.beliefs import Belief, BeliefProfile, point_mass_belief
+from repro.model.game import UncertainRoutingGame
+from repro.model.state import StateSpace
+
+
+class TestConstruction:
+    def test_basic(self, simple_game):
+        assert simple_game.num_users == 2
+        assert simple_game.num_links == 2
+        assert simple_game.total_traffic == pytest.approx(3.0)
+
+    def test_rejects_single_user(self, two_state_space):
+        profile = BeliefProfile.from_matrix(two_state_space, [[1.0, 0.0]])
+        with pytest.raises(ModelError, match="n > 1"):
+            UncertainRoutingGame([1.0], profile)
+
+    def test_rejects_single_link(self):
+        states = StateSpace([[1.0]])
+        profile = BeliefProfile.from_matrix(states, [[1.0], [1.0]])
+        with pytest.raises(ModelError, match="m > 1"):
+            UncertainRoutingGame([1.0, 1.0], profile)
+
+    def test_rejects_weight_mismatch(self, two_state_space):
+        profile = BeliefProfile.from_matrix(
+            two_state_space, [[1.0, 0.0], [1.0, 0.0]]
+        )
+        with pytest.raises(DimensionError):
+            UncertainRoutingGame([1.0, 1.0, 1.0], profile)
+
+    def test_rejects_nonpositive_weights(self, two_state_space):
+        profile = BeliefProfile.from_matrix(
+            two_state_space, [[1.0, 0.0], [1.0, 0.0]]
+        )
+        with pytest.raises(ModelError):
+            UncertainRoutingGame([1.0, 0.0], profile)
+
+    def test_default_initial_traffic_zero(self, simple_game):
+        np.testing.assert_array_equal(simple_game.initial_traffic, [0.0, 0.0])
+
+    def test_initial_traffic_wrong_shape(self, two_state_space):
+        profile = BeliefProfile.from_matrix(
+            two_state_space, [[1.0, 0.0], [1.0, 0.0]]
+        )
+        with pytest.raises(DimensionError):
+            UncertainRoutingGame([1.0, 1.0], profile, initial_traffic=[1.0])
+
+    def test_initial_traffic_negative(self, two_state_space):
+        profile = BeliefProfile.from_matrix(
+            two_state_space, [[1.0, 0.0], [1.0, 0.0]]
+        )
+        with pytest.raises(ModelError):
+            UncertainRoutingGame([1.0, 1.0], profile, initial_traffic=[-1.0, 0.0])
+
+    def test_arrays_read_only(self, simple_game):
+        with pytest.raises(ValueError):
+            simple_game.weights[0] = 9.0
+        with pytest.raises(ValueError):
+            simple_game.capacities[0, 0] = 9.0
+
+
+class TestReducedForm:
+    def test_effective_capacities_computed(self, two_state_space):
+        profile = BeliefProfile.from_matrix(
+            two_state_space, [[1.0, 0.0], [0.0, 1.0]]
+        )
+        game = UncertainRoutingGame([1.0, 1.0], profile)
+        np.testing.assert_allclose(game.capacities, [[1.0, 2.0], [2.0, 1.0]])
+
+    def test_from_capacities_roundtrip(self):
+        caps = np.array([[1.0, 2.0], [3.0, 4.0]])
+        game = UncertainRoutingGame.from_capacities([1.0, 2.0], caps)
+        np.testing.assert_allclose(game.capacities, caps)
+
+    def test_from_capacities_rejects_row_mismatch(self):
+        with pytest.raises(DimensionError):
+            UncertainRoutingGame.from_capacities(
+                [1.0, 2.0, 3.0], [[1.0, 2.0], [3.0, 4.0]]
+            )
+
+    def test_kp_constructor(self):
+        game = UncertainRoutingGame.kp([1.0, 2.0], [1.0, 3.0])
+        assert game.is_kp()
+        np.testing.assert_allclose(game.capacities, [[1.0, 3.0], [1.0, 3.0]])
+
+
+class TestPredicates:
+    def test_is_kp(self, kp_game_fixture, simple_game):
+        assert kp_game_fixture.is_kp()
+        assert not simple_game.is_kp()
+
+    def test_common_beliefs(self, two_state_space):
+        profile = BeliefProfile(
+            two_state_space, [Belief([0.4, 0.6])] * 3
+        )
+        game = UncertainRoutingGame([1.0, 1.0, 1.0], profile)
+        assert game.has_common_beliefs()
+        assert not game.is_kp()
+
+    def test_uniform_beliefs(self, uniform_beliefs_game, simple_game):
+        assert uniform_beliefs_game.has_uniform_beliefs()
+        assert not simple_game.has_uniform_beliefs()
+
+    def test_kp_with_equal_caps_is_uniform(self):
+        game = UncertainRoutingGame.kp([1.0, 2.0], [2.0, 2.0, 2.0])
+        assert game.has_uniform_beliefs()
+
+    def test_symmetric_users(self, two_state_space):
+        profile = BeliefProfile.random(two_state_space, 3, seed=0)
+        game = UncertainRoutingGame([2.0, 2.0, 2.0], profile)
+        assert game.has_symmetric_users()
+
+    def test_not_symmetric(self, simple_game):
+        assert not simple_game.has_symmetric_users()
+
+
+class TestTransformations:
+    def test_with_initial_traffic(self, simple_game):
+        new = simple_game.with_initial_traffic([1.0, 2.0])
+        np.testing.assert_array_equal(new.initial_traffic, [1.0, 2.0])
+        np.testing.assert_array_equal(simple_game.initial_traffic, [0.0, 0.0])
+
+    def test_subgame_preserves_rows(self, three_user_game):
+        sub = three_user_game.subgame([0, 2])
+        assert sub.num_users == 2
+        np.testing.assert_allclose(
+            sub.capacities, three_user_game.capacities[[0, 2]]
+        )
+        np.testing.assert_allclose(
+            sub.weights, three_user_game.weights[[0, 2]]
+        )
+
+    def test_subgame_too_small(self, three_user_game):
+        with pytest.raises(ModelError):
+            three_user_game.subgame([1])
+
+
+class TestRepr:
+    def test_tags_kp(self, kp_game_fixture):
+        assert "kp" in repr(kp_game_fixture)
+
+    def test_tags_uniform(self, uniform_beliefs_game):
+        assert "uniform-beliefs" in repr(uniform_beliefs_game)
+
+    def test_plain(self, three_user_game):
+        text = repr(three_user_game)
+        assert "n=3" in text and "m=3" in text

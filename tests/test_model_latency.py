@@ -1,0 +1,153 @@
+"""Tests for repro.model.latency — the engine everything else rests on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.game import UncertainRoutingGame
+from repro.model.latency import (
+    deviation_latencies,
+    expected_loads,
+    min_expected_latencies,
+    mixed_latency_matrix,
+    pure_latencies,
+    pure_latencies_by_state,
+    pure_latency_of_user,
+)
+from repro.model.profiles import pure_to_mixed
+from repro.generators.games import random_game
+
+
+class TestPureLatencies:
+    def test_hand_computed(self):
+        # Two users on distinct links with unit beliefs.
+        game = UncertainRoutingGame.from_capacities(
+            [1.0, 2.0], [[1.0, 2.0], [2.0, 4.0]]
+        )
+        lat = pure_latencies(game, [0, 1])
+        # user 0 alone on link 0: load 1 / cap 1 = 1
+        # user 1 alone on link 1: load 2 / cap 4 = 0.5
+        np.testing.assert_allclose(lat, [1.0, 0.5])
+
+    def test_shared_link_includes_both(self):
+        game = UncertainRoutingGame.from_capacities(
+            [1.0, 2.0], [[1.0, 2.0], [2.0, 4.0]]
+        )
+        lat = pure_latencies(game, [0, 0])
+        np.testing.assert_allclose(lat, [3.0 / 1.0, 3.0 / 2.0])
+
+    def test_initial_traffic_added(self):
+        game = UncertainRoutingGame.from_capacities(
+            [1.0, 1.0], [[1.0, 1.0], [1.0, 1.0]], initial_traffic=[5.0, 0.0]
+        )
+        lat = pure_latencies(game, [0, 1])
+        np.testing.assert_allclose(lat, [6.0, 1.0])
+
+    def test_single_user_helper_matches(self, three_user_game):
+        sigma = [0, 1, 2]
+        lat = pure_latencies(three_user_game, sigma)
+        for i in range(3):
+            assert pure_latency_of_user(three_user_game, sigma, i) == pytest.approx(
+                lat[i]
+            )
+
+    def test_belief_reduction_identity(self):
+        """E[load / c_phi] over the belief == load / c_eff (the paper's
+        reduction) for every user; this is the core modelling identity."""
+        game = random_game(5, 3, num_states=6, seed=42)
+        sigma = [0, 1, 2, 0, 1]
+        by_state = pure_latencies_by_state(game, sigma)  # (n, S)
+        expected = (game.beliefs.matrix * by_state).sum(axis=1)
+        np.testing.assert_allclose(expected, pure_latencies(game, sigma))
+
+    def test_by_state_shape(self, simple_game):
+        out = pure_latencies_by_state(simple_game, [0, 1])
+        assert out.shape == (2, 2)
+
+
+class TestDeviationLatencies:
+    def test_diagonal_is_current(self, three_user_game):
+        sigma = np.array([0, 1, 2], dtype=np.intp)
+        dev = deviation_latencies(three_user_game, sigma)
+        cur = pure_latencies(three_user_game, sigma)
+        np.testing.assert_allclose(dev[np.arange(3), sigma], cur)
+
+    def test_off_diagonal_adds_own_weight(self):
+        game = UncertainRoutingGame.from_capacities(
+            [1.0, 2.0], [[1.0, 1.0], [1.0, 1.0]]
+        )
+        dev = deviation_latencies(game, [0, 0])
+        # user 0 moving to empty link 1 would see just its own weight.
+        assert dev[0, 1] == pytest.approx(1.0)
+        # user 1 moving to link 1: its weight 2 alone.
+        assert dev[1, 1] == pytest.approx(2.0)
+
+    def test_matches_explicit_move(self, three_user_game):
+        sigma = np.array([0, 0, 1], dtype=np.intp)
+        dev = deviation_latencies(three_user_game, sigma)
+        for user in range(3):
+            for link in range(3):
+                moved = sigma.copy()
+                moved[user] = link
+                expected = pure_latency_of_user(three_user_game, moved, user)
+                assert dev[user, link] == pytest.approx(expected)
+
+
+class TestMixedLatencies:
+    def test_matches_paper_formula(self, simple_game):
+        p = np.array([[0.3, 0.7], [0.6, 0.4]])
+        lat = mixed_latency_matrix(simple_game, p)
+        w = simple_game.weights
+        caps = simple_game.capacities
+        w_link = p.T @ w
+        for i in range(2):
+            for link in range(2):
+                manual = ((1 - p[i, link]) * w[i] + w_link[link]) / caps[i, link]
+                assert lat[i, link] == pytest.approx(manual)
+
+    def test_degenerate_mixed_matches_pure(self, three_user_game):
+        sigma = [0, 2, 1]
+        mixed = pure_to_mixed(sigma, 3, 3)
+        lat_matrix = mixed_latency_matrix(three_user_game, mixed)
+        pure = pure_latencies(three_user_game, sigma)
+        for i, link in enumerate(sigma):
+            assert lat_matrix[i, link] == pytest.approx(pure[i])
+
+    def test_degenerate_mixed_deviations_match(self, three_user_game):
+        """On one-hot rows the mixed matrix IS the deviation matrix."""
+        sigma = [0, 1, 2]
+        mixed = pure_to_mixed(sigma, 3, 3)
+        np.testing.assert_allclose(
+            mixed_latency_matrix(three_user_game, mixed),
+            deviation_latencies(three_user_game, sigma),
+        )
+
+    def test_min_expected_latencies(self, simple_game):
+        p = np.array([[0.5, 0.5], [0.5, 0.5]])
+        mins = min_expected_latencies(simple_game, p)
+        full = mixed_latency_matrix(simple_game, p)
+        np.testing.assert_allclose(mins, full.min(axis=1))
+
+    def test_expected_loads(self, simple_game):
+        p = np.array([[0.3, 0.7], [0.6, 0.4]])
+        loads = expected_loads(simple_game, p)
+        w = simple_game.weights
+        np.testing.assert_allclose(
+            loads, [0.3 * w[0] + 0.6 * w[1], 0.7 * w[0] + 0.4 * w[1]]
+        )
+
+    def test_expected_loads_include_initial_traffic(self):
+        game = UncertainRoutingGame.from_capacities(
+            [1.0, 1.0], [[1.0, 1.0], [1.0, 1.0]], initial_traffic=[2.0, 3.0]
+        )
+        p = np.full((2, 2), 0.5)
+        np.testing.assert_allclose(expected_loads(game, p), [3.0, 4.0])
+
+    def test_total_expected_load_conserved(self):
+        game = random_game(6, 4, seed=0)
+        rng = np.random.default_rng(1)
+        p = rng.dirichlet(np.ones(4), size=6)
+        assert expected_loads(game, p).sum() == pytest.approx(
+            game.total_traffic + game.initial_traffic.sum()
+        )

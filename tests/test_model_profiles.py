@@ -1,0 +1,169 @@
+"""Tests for repro.model.profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, ModelError
+from repro.model.profiles import (
+    MixedProfile,
+    PureProfile,
+    as_assignment,
+    as_mixed_matrix,
+    loads_of,
+    profile_from_support_sets,
+    pure_to_mixed,
+)
+
+
+class TestPureProfile:
+    def test_basic(self):
+        p = PureProfile([0, 1, 0], 2)
+        assert p.num_users == 3
+        assert p.link_of(1) == 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ModelError):
+            PureProfile([0, 2], 2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelError):
+            PureProfile([0, -1], 2)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(DimensionError):
+            PureProfile([[0, 1]], 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            PureProfile([], 2)
+
+    def test_does_not_freeze_caller_array(self):
+        src = np.array([0, 1], dtype=np.intp)
+        PureProfile(src, 2)
+        src[0] = 1  # must still be writable
+
+    def test_with_move(self):
+        p = PureProfile([0, 0], 2)
+        q = p.with_move(1, 1, 2)
+        assert q.as_tuple() == (0, 1)
+        assert p.as_tuple() == (0, 0)
+
+    def test_users_on(self):
+        p = PureProfile([0, 1, 0], 2)
+        np.testing.assert_array_equal(p.users_on(0), [0, 2])
+        np.testing.assert_array_equal(p.users_on(1), [1])
+
+    def test_equality_hash(self):
+        assert PureProfile([0, 1], 2) == PureProfile([0, 1], 2)
+        assert hash(PureProfile([0, 1], 2)) == hash(PureProfile([0, 1], 2))
+        assert PureProfile([0, 1], 2) != PureProfile([1, 0], 2)
+
+    def test_iter_and_len(self):
+        p = PureProfile([1, 0, 1], 2)
+        assert list(p) == [1, 0, 1]
+        assert len(p) == 3
+
+    def test_links_read_only(self):
+        p = PureProfile([0, 1], 2)
+        with pytest.raises(ValueError):
+            p.links[0] = 1
+
+
+class TestMixedProfile:
+    def test_basic(self):
+        m = MixedProfile([[0.5, 0.5], [1.0, 0.0]])
+        assert m.num_users == 2
+        assert m.num_links == 2
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(Exception):
+            MixedProfile([[0.5, 0.6]])
+
+    def test_support_of(self):
+        m = MixedProfile([[0.5, 0.5, 0.0]])
+        np.testing.assert_array_equal(m.support_of(0), [0, 1])
+
+    def test_is_fully_mixed(self):
+        assert MixedProfile([[0.5, 0.5], [0.3, 0.7]]).is_fully_mixed()
+        assert not MixedProfile([[1.0, 0.0], [0.3, 0.7]]).is_fully_mixed()
+
+    def test_is_pure_and_to_pure(self):
+        m = MixedProfile([[1.0, 0.0], [0.0, 1.0]])
+        assert m.is_pure()
+        assert m.to_pure().as_tuple() == (0, 1)
+
+    def test_to_pure_rejects_mixed(self):
+        with pytest.raises(ModelError):
+            MixedProfile([[0.5, 0.5]]).to_pure()
+
+    def test_equality(self):
+        assert MixedProfile([[0.5, 0.5]]) == MixedProfile([[0.5, 0.5]])
+
+    def test_matrix_read_only(self):
+        m = MixedProfile([[0.5, 0.5]])
+        with pytest.raises(ValueError):
+            m.matrix[0, 0] = 1.0
+
+
+class TestNormalisers:
+    def test_as_assignment_from_profile(self):
+        arr = as_assignment(PureProfile([0, 1], 2), 2, 2)
+        np.testing.assert_array_equal(arr, [0, 1])
+
+    def test_as_assignment_from_list(self):
+        arr = as_assignment([1, 0], 2, 2)
+        assert arr.dtype == np.intp
+
+    def test_as_assignment_wrong_users(self):
+        with pytest.raises(DimensionError):
+            as_assignment([0, 1, 0], 2, 2)
+
+    def test_as_assignment_bad_link(self):
+        with pytest.raises(ModelError):
+            as_assignment([0, 5], 2, 2)
+
+    def test_as_mixed_matrix_shape_check(self):
+        with pytest.raises(DimensionError):
+            as_mixed_matrix(MixedProfile([[0.5, 0.5]]), 2, 2)
+
+
+class TestLoads:
+    def test_loads_of(self):
+        sigma = np.array([0, 1, 0], dtype=np.intp)
+        w = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(loads_of(sigma, w, 2), [4.0, 2.0])
+
+    def test_loads_with_initial_traffic(self):
+        sigma = np.array([0, 0], dtype=np.intp)
+        w = np.array([1.0, 1.0])
+        t = np.array([5.0, 7.0])
+        np.testing.assert_allclose(loads_of(sigma, w, 2, t), [7.0, 7.0])
+
+    def test_loads_cover_empty_links(self):
+        sigma = np.array([0, 0], dtype=np.intp)
+        w = np.array([1.0, 1.0])
+        loads = loads_of(sigma, w, 3)
+        np.testing.assert_allclose(loads, [2.0, 0.0, 0.0])
+
+
+class TestConversions:
+    def test_pure_to_mixed_one_hot(self):
+        m = pure_to_mixed([1, 0], 2, 2)
+        np.testing.assert_array_equal(m.matrix, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_profile_from_support_sets(self):
+        m = profile_from_support_sets(
+            [(0, 1), (2,)], [[0.25, 0.75], [1.0]], 3
+        )
+        np.testing.assert_allclose(m.matrix[0], [0.25, 0.75, 0.0])
+        np.testing.assert_allclose(m.matrix[1], [0.0, 0.0, 1.0])
+
+    def test_profile_from_support_sets_mismatch(self):
+        with pytest.raises(DimensionError):
+            profile_from_support_sets([(0,)], [[0.5], [0.5]], 2)
+
+    def test_profile_from_support_probability_mismatch(self):
+        with pytest.raises(DimensionError):
+            profile_from_support_sets([(0, 1)], [[1.0]], 2)

@@ -1,0 +1,152 @@
+"""Tests for repro.model.social — SC1/SC2, optima, coordination ratios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.game import UncertainRoutingGame
+from repro.model.latency import pure_latencies
+from repro.model.profiles import MixedProfile
+from repro.model.social import (
+    all_pure_costs,
+    coordination_ratios,
+    enumerate_assignments,
+    individual_costs,
+    opt1,
+    opt2,
+    optimum,
+    sc1,
+    sc2,
+    social_costs_of_pure,
+)
+from repro.generators.games import random_game
+
+
+class TestEnumerateAssignments:
+    def test_count(self):
+        assert enumerate_assignments(3, 2).shape == (8, 3)
+
+    def test_all_distinct(self):
+        rows = enumerate_assignments(3, 3)
+        assert len({tuple(r) for r in rows}) == 27
+
+    def test_mixed_radix_order(self):
+        rows = enumerate_assignments(2, 2)
+        assert rows.tolist() == [[0, 0], [0, 1], [1, 0], [1, 1]]
+
+    def test_limit_enforced(self):
+        with pytest.raises(ModelError):
+            enumerate_assignments(30, 4)
+
+
+class TestSocialCosts:
+    def test_sc1_is_sum_of_latencies(self, three_user_game):
+        sigma = [0, 1, 2]
+        assert sc1(three_user_game, sigma) == pytest.approx(
+            pure_latencies(three_user_game, sigma).sum()
+        )
+
+    def test_sc2_is_max_of_latencies(self, three_user_game):
+        sigma = [0, 1, 2]
+        assert sc2(three_user_game, sigma) == pytest.approx(
+            pure_latencies(three_user_game, sigma).max()
+        )
+
+    def test_social_costs_of_pure_pair(self, three_user_game):
+        s1, s2 = social_costs_of_pure(three_user_game, [0, 0, 1])
+        assert s1 == pytest.approx(sc1(three_user_game, [0, 0, 1]))
+        assert s2 == pytest.approx(sc2(three_user_game, [0, 0, 1]))
+
+    def test_mixed_profile_uses_min_latency(self, simple_game):
+        p = MixedProfile([[0.5, 0.5], [0.5, 0.5]])
+        costs = individual_costs(simple_game, p)
+        assert costs.shape == (2,)
+        assert sc1(simple_game, p) == pytest.approx(costs.sum())
+        assert sc2(simple_game, p) == pytest.approx(costs.max())
+
+    def test_sc2_le_sc1(self, three_user_game):
+        for sigma in [[0, 0, 0], [0, 1, 2], [2, 2, 1]]:
+            assert sc2(three_user_game, sigma) <= sc1(three_user_game, sigma)
+
+
+class TestAllPureCosts:
+    def test_agrees_with_direct_evaluation(self, three_user_game):
+        assignments, lat = all_pure_costs(three_user_game)
+        for idx in [0, 5, 13, 26]:
+            np.testing.assert_allclose(
+                lat[idx], pure_latencies(three_user_game, assignments[idx])
+            )
+
+    def test_shapes(self, three_user_game):
+        assignments, lat = all_pure_costs(three_user_game)
+        assert assignments.shape == (27, 3)
+        assert lat.shape == (27, 3)
+
+
+class TestOptimum:
+    def test_exhaustive_sum_is_global_min(self, three_user_game):
+        result = optimum(three_user_game, "sum", method="exhaustive")
+        _, lat = all_pure_costs(three_user_game)
+        assert result.value == pytest.approx(lat.sum(axis=1).min())
+
+    def test_exhaustive_max_is_global_min(self, three_user_game):
+        result = optimum(three_user_game, "max", method="exhaustive")
+        _, lat = all_pure_costs(three_user_game)
+        assert result.value == pytest.approx(lat.max(axis=1).min())
+
+    def test_assignment_achieves_value(self, three_user_game):
+        result = optimum(three_user_game, "sum")
+        assert sc1(three_user_game, result.assignment) == pytest.approx(result.value)
+
+    def test_bb_matches_exhaustive_sum(self):
+        for seed in range(5):
+            game = random_game(5, 3, seed=seed)
+            ex = optimum(game, "sum", method="exhaustive").value
+            bb = optimum(game, "sum", method="branch_and_bound").value
+            assert bb == pytest.approx(ex, rel=1e-9)
+
+    def test_bb_matches_exhaustive_max(self):
+        for seed in range(5):
+            game = random_game(5, 3, seed=seed)
+            ex = optimum(game, "max", method="exhaustive").value
+            bb = optimum(game, "max", method="branch_and_bound").value
+            assert bb == pytest.approx(ex, rel=1e-9)
+
+    def test_bb_with_initial_traffic(self):
+        game = random_game(4, 3, with_initial_traffic=True, seed=3)
+        ex = optimum(game, "sum", method="exhaustive").value
+        bb = optimum(game, "sum", method="branch_and_bound").value
+        assert bb == pytest.approx(ex, rel=1e-9)
+
+    def test_rejects_unknown_objective(self, three_user_game):
+        with pytest.raises(ModelError):
+            optimum(three_user_game, "median")  # type: ignore[arg-type]
+
+    def test_rejects_unknown_method(self, three_user_game):
+        with pytest.raises(ModelError):
+            optimum(three_user_game, "sum", method="magic")  # type: ignore[arg-type]
+
+    def test_opt_helpers(self, three_user_game):
+        assert opt1(three_user_game) == optimum(three_user_game, "sum").value
+        assert opt2(three_user_game) == optimum(three_user_game, "max").value
+
+    def test_result_unpacking(self, three_user_game):
+        value, sigma = optimum(three_user_game, "sum")
+        assert value > 0
+        assert len(sigma) == 3
+
+
+class TestCoordinationRatios:
+    def test_at_least_one(self, three_user_game):
+        """No profile can beat the optimum, so ratios are >= 1."""
+        for sigma in [[0, 1, 2], [0, 0, 0], [2, 1, 0]]:
+            r1, r2 = coordination_ratios(three_user_game, sigma)
+            assert r1 >= 1.0 - 1e-12
+            assert r2 >= 1.0 - 1e-12
+
+    def test_optimal_assignment_gives_one(self, three_user_game):
+        best = optimum(three_user_game, "sum").assignment
+        r1, _ = coordination_ratios(three_user_game, best)
+        assert r1 == pytest.approx(1.0)

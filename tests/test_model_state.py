@@ -1,0 +1,129 @@
+"""Tests for repro.model.state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, ModelError
+from repro.model.state import StateSpace
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = StateSpace([[1.0, 2.0], [2.0, 1.0]])
+        assert s.num_states == 2
+        assert s.num_links == 2
+
+    def test_default_names(self):
+        s = StateSpace([[1.0, 2.0]])
+        assert s.names == ("phi0",)
+
+    def test_custom_names(self):
+        s = StateSpace([[1.0, 2.0]], names=["calm"])
+        assert s.names == ("calm",)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ModelError, match="unique"):
+            StateSpace([[1.0, 2.0], [2.0, 1.0]], names=["a", "a"])
+
+    def test_wrong_name_count_rejected(self):
+        with pytest.raises(DimensionError):
+            StateSpace([[1.0, 2.0]], names=["a", "b"])
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ModelError):
+            StateSpace([[1.0, 0.0]])
+
+    def test_rejects_1d(self):
+        with pytest.raises(DimensionError):
+            StateSpace([1.0, 2.0])
+
+    def test_capacities_read_only(self):
+        s = StateSpace([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            s.capacities[0, 0] = 5.0
+
+    def test_does_not_alias_input(self):
+        src = np.array([[1.0, 2.0]])
+        s = StateSpace(src)
+        src[0, 0] = 99.0
+        assert s.capacities[0, 0] == 1.0
+
+
+class TestConstructors:
+    def test_single(self):
+        s = StateSpace.single([3.0, 4.0])
+        assert s.num_states == 1
+        assert s.names == ("certain",)
+        np.testing.assert_array_equal(s.state(0), [3.0, 4.0])
+
+    def test_from_states(self):
+        s = StateSpace.from_states([[1.0, 2.0], [3.0, 4.0]])
+        assert s.num_states == 2
+
+    def test_from_states_rejects_ragged(self):
+        with pytest.raises(DimensionError):
+            StateSpace.from_states([[1.0, 2.0], [3.0]])
+
+    def test_from_states_rejects_empty(self):
+        with pytest.raises(ModelError):
+            StateSpace.from_states([])
+
+    def test_random_shape_and_range(self):
+        s = StateSpace.random(5, 3, low=1.0, high=2.0, seed=0)
+        assert s.capacities.shape == (5, 3)
+        assert np.all(s.capacities >= 1.0)
+        assert np.all(s.capacities < 2.0)
+
+    def test_random_deterministic(self):
+        a = StateSpace.random(3, 2, seed=7)
+        b = StateSpace.random(3, 2, seed=7)
+        assert a == b
+
+    def test_random_rejects_bad_bounds(self):
+        with pytest.raises(ModelError):
+            StateSpace.random(2, 2, low=2.0, high=1.0)
+
+    def test_random_rejects_zero_states(self):
+        with pytest.raises(ModelError):
+            StateSpace.random(0, 2)
+
+    def test_perturbations(self):
+        s = StateSpace.perturbations([1.0, 2.0], factors=(0.5, 1.0, 2.0))
+        assert s.num_states == 3
+        np.testing.assert_allclose(s.state(0), [0.5, 1.0])
+        np.testing.assert_allclose(s.state(2), [2.0, 4.0])
+
+    def test_perturbations_names(self):
+        s = StateSpace.perturbations([1.0, 1.0], factors=(0.5, 2.0))
+        assert s.names == ("x0.5", "x2")
+
+
+class TestAccessors:
+    def test_len(self):
+        assert len(StateSpace([[1.0, 2.0], [2.0, 1.0]])) == 2
+
+    def test_index_of(self):
+        s = StateSpace([[1.0, 2.0]], names=["only"])
+        assert s.index_of("only") == 0
+
+    def test_index_of_missing_raises_keyerror(self):
+        s = StateSpace([[1.0, 2.0]])
+        with pytest.raises(KeyError):
+            s.index_of("nope")
+
+    def test_equality_and_hash(self):
+        a = StateSpace([[1.0, 2.0]])
+        b = StateSpace([[1.0, 2.0]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_different_caps(self):
+        assert StateSpace([[1.0, 2.0]]) != StateSpace([[2.0, 1.0]])
+
+    def test_eq_not_implemented_for_other_types(self):
+        assert StateSpace([[1.0, 2.0]]).__eq__(42) is NotImplemented
+
+    def test_repr(self):
+        assert "num_states=1" in repr(StateSpace([[1.0, 2.0]]))

@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) for equilibrium invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.model.game import UncertainRoutingGame
+from repro.equilibria.conditions import is_pure_nash, pure_regrets
+from repro.equilibria.fully_mixed import fully_mixed_candidate
+from repro.equilibria.two_links import atwolinks, tolerances
+from repro.equilibria.uniform import auniform
+
+positive = st.floats(min_value=0.05, max_value=20.0, allow_nan=False)
+
+
+@st.composite
+def two_link_games(draw, max_users: int = 6):
+    n = draw(st.integers(2, max_users))
+    caps = draw(arrays(np.float64, (n, 2), elements=positive))
+    weights = draw(arrays(np.float64, (n,), elements=positive))
+    traffic = draw(
+        st.one_of(
+            st.none(),
+            arrays(
+                np.float64,
+                (2,),
+                elements=st.floats(min_value=0.0, max_value=5.0),
+            ),
+        )
+    )
+    return UncertainRoutingGame.from_capacities(
+        weights, caps, initial_traffic=traffic
+    )
+
+
+@st.composite
+def uniform_belief_games(draw, max_users: int = 7, max_links: int = 5):
+    n = draw(st.integers(2, max_users))
+    m = draw(st.integers(2, max_links))
+    per_user = draw(arrays(np.float64, (n,), elements=positive))
+    weights = draw(arrays(np.float64, (n,), elements=positive))
+    caps = np.repeat(per_user[:, None], m, axis=1)
+    return UncertainRoutingGame.from_capacities(weights, caps)
+
+
+class TestAtwolinksProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(two_link_games())
+    def test_always_returns_pure_nash(self, game):
+        """Theorem 3.3 as a universal property over arbitrary instances."""
+        assert is_pure_nash(game, atwolinks(game))
+
+    @settings(max_examples=80, deadline=None)
+    @given(two_link_games())
+    def test_tolerance_balance_equation(self, game):
+        alpha = tolerances(game)
+        t = game.initial_traffic
+        T = game.total_traffic
+        for j in (0, 1):
+            o = 1 - j
+            lhs = (t[j] + alpha[:, j]) / game.capacities[:, j]
+            rhs = (t[o] + T - alpha[:, j] + game.weights) / game.capacities[:, o]
+            np.testing.assert_allclose(lhs, rhs, rtol=1e-8)
+
+
+class TestAuniformProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(uniform_belief_games())
+    def test_always_returns_pure_nash(self, game):
+        """Theorem 3.6 as a universal property."""
+        assert is_pure_nash(game, auniform(game))
+
+    @settings(max_examples=60, deadline=None)
+    @given(uniform_belief_games(max_users=5, max_links=3))
+    def test_regrets_vanish(self, game):
+        profile = auniform(game)
+        assert pure_regrets(game, profile).max() <= 1e-9 * max(
+            1.0, float(game.total_traffic)
+        )
+
+
+class TestFullyMixedProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.integers(2, 5),
+        st.integers(2, 4),
+        st.integers(0, 100_000),
+    )
+    def test_candidate_rows_always_sum_to_one(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        game = UncertainRoutingGame.from_capacities(
+            rng.uniform(0.1, 5.0, size=n), rng.uniform(0.1, 5.0, size=(n, m))
+        )
+        cand = fully_mixed_candidate(game)
+        np.testing.assert_allclose(cand.probabilities.sum(axis=1), 1.0, atol=1e-8)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(2, 5), st.integers(2, 4), st.integers(0, 100_000))
+    def test_link_traffic_conservation(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        game = UncertainRoutingGame.from_capacities(
+            rng.uniform(0.1, 5.0, size=n), rng.uniform(0.1, 5.0, size=(n, m))
+        )
+        cand = fully_mixed_candidate(game)
+        np.testing.assert_allclose(
+            cand.link_traffic.sum(), game.total_traffic, rtol=1e-9
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(2, 4), st.integers(2, 4), st.integers(0, 100_000))
+    def test_interior_candidate_is_nash(self, n, m, seed):
+        from repro.equilibria.conditions import is_mixed_nash
+
+        rng = np.random.default_rng(seed)
+        game = UncertainRoutingGame.from_capacities(
+            rng.uniform(0.5, 2.0, size=n), rng.uniform(0.5, 2.0, size=(n, m))
+        )
+        cand = fully_mixed_candidate(game)
+        if cand.exists:
+            assert is_mixed_nash(game, cand.profile(), tol=1e-6)
+
+
+class TestConjectureProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(2, 4), st.integers(2, 3), st.integers(0, 100_000))
+    def test_random_games_have_pure_nash(self, n, m, seed):
+        """Conjecture 3.7 as a hypothesis property: exhaustive existence
+        on arbitrary reduced forms (not just the generators' families)."""
+        from repro.equilibria.enumeration import exists_pure_nash
+
+        rng = np.random.default_rng(seed)
+        game = UncertainRoutingGame.from_capacities(
+            rng.uniform(0.05, 10.0, size=n), rng.uniform(0.05, 10.0, size=(n, m))
+        )
+        assert exists_pure_nash(game)

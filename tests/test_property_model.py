@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) for the model layer's invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.model.beliefs import Belief
+from repro.model.game import UncertainRoutingGame
+from repro.model.latency import (
+    deviation_latencies,
+    mixed_latency_matrix,
+    pure_latencies,
+    pure_latencies_by_state,
+)
+from repro.model.profiles import pure_to_mixed
+from repro.model.state import StateSpace
+
+positive = st.floats(min_value=0.05, max_value=20.0, allow_nan=False)
+
+
+@st.composite
+def games(draw, max_users: int = 5, max_links: int = 4):
+    n = draw(st.integers(2, max_users))
+    m = draw(st.integers(2, max_links))
+    caps = draw(
+        arrays(np.float64, (n, m), elements=positive)
+    )
+    weights = draw(arrays(np.float64, (n,), elements=positive))
+    return UncertainRoutingGame.from_capacities(weights, caps)
+
+
+@st.composite
+def games_with_assignments(draw):
+    game = draw(games())
+    sigma = draw(
+        st.lists(
+            st.integers(0, game.num_links - 1),
+            min_size=game.num_users,
+            max_size=game.num_users,
+        )
+    )
+    return game, sigma
+
+
+class TestLatencyProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(games_with_assignments())
+    def test_latencies_strictly_positive(self, game_sigma):
+        game, sigma = game_sigma
+        assert np.all(pure_latencies(game, sigma) > 0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(games_with_assignments())
+    def test_deviation_diagonal_equals_current(self, game_sigma):
+        game, sigma = game_sigma
+        dev = deviation_latencies(game, sigma)
+        cur = pure_latencies(game, sigma)
+        np.testing.assert_allclose(
+            dev[np.arange(game.num_users), sigma], cur, rtol=1e-12
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(games_with_assignments())
+    def test_pure_profile_embeds_into_mixed_engine(self, game_sigma):
+        """The one-hot embedding of a pure profile must reproduce the pure
+        deviation matrix exactly — the two latency paths agree."""
+        game, sigma = game_sigma
+        mixed = pure_to_mixed(sigma, game.num_users, game.num_links)
+        np.testing.assert_allclose(
+            mixed_latency_matrix(game, mixed),
+            deviation_latencies(game, sigma),
+            rtol=1e-12,
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(games_with_assignments())
+    def test_adding_traffic_never_reduces_latency(self, game_sigma):
+        game, sigma = game_sigma
+        heavier = game.with_initial_traffic(np.ones(game.num_links))
+        assert np.all(
+            pure_latencies(heavier, sigma) >= pure_latencies(game, sigma) - 1e-12
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(games_with_assignments(), st.floats(min_value=0.1, max_value=10.0))
+    def test_capacity_scaling_inversely_scales_latency(self, game_sigma, factor):
+        game, sigma = game_sigma
+        scaled = UncertainRoutingGame.from_capacities(
+            game.weights, game.capacities * factor
+        )
+        np.testing.assert_allclose(
+            pure_latencies(scaled, sigma),
+            pure_latencies(game, sigma) / factor,
+            rtol=1e-9,
+        )
+
+
+class TestBeliefReduction:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(2, 4),
+        st.integers(2, 4),
+        st.integers(1, 5),
+        st.integers(0, 10_000),
+    )
+    def test_reduction_identity(self, n, m, num_states, seed):
+        """E_b[latency by state] == latency through effective capacities."""
+        rng = np.random.default_rng(seed)
+        states = StateSpace(rng.uniform(0.1, 5.0, size=(num_states, m)))
+        from repro.model.beliefs import BeliefProfile
+
+        beliefs = BeliefProfile.random(states, n, seed=rng)
+        game = UncertainRoutingGame(rng.uniform(0.1, 3.0, size=n), beliefs)
+        sigma = rng.integers(0, m, size=n)
+        by_state = pure_latencies_by_state(game, sigma)
+        np.testing.assert_allclose(
+            (game.beliefs.matrix * by_state).sum(axis=1),
+            pure_latencies(game, sigma),
+            rtol=1e-9,
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 6), st.integers(2, 5), st.integers(0, 10_000))
+    def test_effective_capacity_within_state_range(self, num_states, m, seed):
+        """The belief-harmonic capacity lies between the extreme state
+        capacities of each link."""
+        rng = np.random.default_rng(seed)
+        caps = rng.uniform(0.1, 5.0, size=(num_states, m))
+        states = StateSpace(caps)
+        belief = Belief(rng.dirichlet(np.ones(num_states)))
+        eff = belief.effective_capacities(states)
+        assert np.all(eff <= caps.max(axis=0) + 1e-9)
+        assert np.all(eff >= caps.min(axis=0) - 1e-9)

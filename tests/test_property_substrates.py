@@ -1,0 +1,133 @@
+"""Property-based tests for the substrates and social-cost invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.model.game import UncertainRoutingGame
+from repro.model.social import opt1, opt2, sc1, sc2
+from repro.substrates.player_specific import PlayerSpecificGame
+
+positive = st.floats(min_value=0.05, max_value=20.0, allow_nan=False)
+
+
+@st.composite
+def player_specific_games(draw, max_players: int = 3, max_links: int = 3):
+    n = draw(st.integers(2, max_players))
+    m = draw(st.integers(2, max_links))
+    weights = draw(
+        st.lists(st.integers(1, 3), min_size=n, max_size=n)
+    )
+    total = sum(weights)
+    base = draw(
+        arrays(
+            np.float64,
+            (n, m),
+            elements=st.floats(min_value=0.1, max_value=3.0),
+        )
+    )
+    increments = draw(
+        arrays(
+            np.float64,
+            (n, m, total),
+            elements=st.floats(min_value=0.0, max_value=4.0),
+        )
+    )
+    tables = np.concatenate(
+        [base[:, :, None], base[:, :, None] + np.cumsum(increments, axis=2)],
+        axis=2,
+    )
+    return PlayerSpecificGame(np.asarray(weights, dtype=np.int64), tables)
+
+
+class TestPlayerSpecificProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(player_specific_games())
+    def test_loads_sum_to_total_weight(self, game):
+        rng = np.random.default_rng(0)
+        sigma = rng.integers(0, game.num_links, size=game.num_players)
+        assert int(game.loads(sigma).sum()) == game.total_weight
+
+    @settings(max_examples=60, deadline=None)
+    @given(player_specific_games())
+    def test_deviation_diagonal_matches_costs(self, game):
+        rng = np.random.default_rng(1)
+        sigma = rng.integers(0, game.num_links, size=game.num_players)
+        dev = game.deviation_costs(sigma)
+        np.testing.assert_allclose(
+            dev[np.arange(game.num_players), sigma], game.costs_of(sigma)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(player_specific_games())
+    def test_nash_profiles_verify(self, game):
+        for profile in game.pure_nash_profiles():
+            assert game.is_pure_nash(profile)
+
+    @settings(max_examples=40, deadline=None)
+    @given(player_specific_games(max_players=3, max_links=2))
+    def test_unweighted_instances_always_have_pne(self, game):
+        """Milchtaich's theorem restricted to the unweighted draws."""
+        if game.is_unweighted():
+            assert game.exists_pure_nash()
+
+    @settings(max_examples=40, deadline=None)
+    @given(player_specific_games())
+    def test_costs_monotone_under_joining(self, game):
+        """Adding load to a player's link can never lower its cost."""
+        rng = np.random.default_rng(2)
+        sigma = rng.integers(0, game.num_links, size=game.num_players)
+        costs = game.costs_of(sigma)
+        # Move some other player onto player 0's link.
+        other = 1
+        if sigma[other] != sigma[0]:
+            moved = sigma.copy()
+            moved[other] = sigma[0]
+            assert game.costs_of(moved)[0] >= costs[0] - 1e-12
+
+
+@st.composite
+def reduced_games(draw, max_users: int = 5, max_links: int = 3):
+    n = draw(st.integers(2, max_users))
+    m = draw(st.integers(2, max_links))
+    caps = draw(arrays(np.float64, (n, m), elements=positive))
+    weights = draw(arrays(np.float64, (n,), elements=positive))
+    return UncertainRoutingGame.from_capacities(weights, caps)
+
+
+class TestSocialCostProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(reduced_games())
+    def test_opt_lower_bounds_every_profile(self, game):
+        rng = np.random.default_rng(3)
+        o1, o2 = opt1(game), opt2(game)
+        for _ in range(3):
+            sigma = rng.integers(0, game.num_links, size=game.num_users)
+            assert o1 <= sc1(game, sigma) + 1e-9
+            assert o2 <= sc2(game, sigma) + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(reduced_games())
+    def test_sc2_between_mean_and_sum(self, game):
+        rng = np.random.default_rng(4)
+        sigma = rng.integers(0, game.num_links, size=game.num_users)
+        s1, s2 = sc1(game, sigma), sc2(game, sigma)
+        assert s2 <= s1 + 1e-12
+        assert s2 >= s1 / game.num_users - 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(reduced_games(max_users=4))
+    def test_poa_bound_general_dominates(self, game):
+        """Theorem 4.14 over arbitrary reduced forms, not just the
+        generator families: every pure NE ratio sits below the bound."""
+        from repro.analysis.poa import poa_bound_general
+        from repro.equilibria.enumeration import pure_nash_profiles
+
+        bound = poa_bound_general(game)
+        o1, o2 = opt1(game), opt2(game)
+        for eq in pure_nash_profiles(game):
+            assert sc1(game, eq) / o1 <= bound * (1 + 1e-9)
+            assert sc2(game, eq) / o2 <= bound * (1 + 1e-9)

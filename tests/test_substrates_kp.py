@@ -1,0 +1,108 @@
+"""Tests for the KP-model substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmDomainError
+from repro.model.game import UncertainRoutingGame
+from repro.model.profiles import MixedProfile, pure_to_mixed
+from repro.equilibria.conditions import is_pure_nash
+from repro.substrates.kp import (
+    expected_max_congestion,
+    kp_game,
+    kp_greedy_nash,
+    kp_price_of_anarchy,
+    opt_max_congestion,
+)
+from repro.generators.games import random_kp_game
+
+
+class TestKpGame:
+    def test_builds_kp(self):
+        game = kp_game([1.0, 2.0], [1.0, 3.0])
+        assert game.is_kp()
+
+    def test_requires_kp_for_classic_routines(self, simple_game):
+        with pytest.raises(AlgorithmDomainError):
+            kp_greedy_nash(simple_game)
+        with pytest.raises(AlgorithmDomainError):
+            expected_max_congestion(simple_game, [0, 1])
+
+
+class TestGreedyNash:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_returns_nash(self, seed):
+        game = random_kp_game(6, 3, seed=seed)
+        assert is_pure_nash(game, kp_greedy_nash(game))
+
+    def test_identical_links_balances(self):
+        game = kp_game([3.0, 3.0, 2.0, 2.0], [1.0, 1.0])
+        profile = kp_greedy_nash(game)
+        loads = np.bincount(profile.links, weights=game.weights, minlength=2)
+        assert sorted(loads.tolist()) == [5.0, 5.0]
+
+    def test_respects_initial_traffic(self):
+        game = kp_game([1.0, 1.0], [1.0, 1.0], initial_traffic=[10.0, 0.0])
+        profile = kp_greedy_nash(game)
+        assert profile.as_tuple() == (1, 1)
+
+
+class TestExpectedMaxCongestion:
+    def test_pure_profile_direct(self):
+        game = kp_game([1.0, 2.0], [1.0, 2.0])
+        # sigma = [0, 1]: congestion = max(1/1, 2/2) = 1.
+        assert expected_max_congestion(game, [0, 1]) == pytest.approx(1.0)
+
+    def test_degenerate_mixed_matches_pure(self):
+        game = random_kp_game(4, 2, seed=0)
+        sigma = [0, 1, 0, 1]
+        exact = expected_max_congestion(game, pure_to_mixed(sigma, 4, 2))
+        assert exact == pytest.approx(expected_max_congestion(game, sigma))
+
+    def test_exact_expectation_hand_case(self):
+        """Two unit users mixing uniformly on two unit links:
+        P(collide) = 1/2 -> E[max congestion] = 0.5*2 + 0.5*1 = 1.5."""
+        game = kp_game([1.0, 1.0], [1.0, 1.0])
+        p = MixedProfile(np.full((2, 2), 0.5))
+        assert expected_max_congestion(game, p) == pytest.approx(1.5)
+
+    def test_monte_carlo_close_to_exact(self):
+        game = random_kp_game(5, 2, seed=1)
+        rng = np.random.default_rng(0)
+        p = MixedProfile(rng.dirichlet(np.ones(2), size=5))
+        exact = expected_max_congestion(game, p)
+        mc = expected_max_congestion(
+            game, p, exact_limit=0, num_samples=60_000, seed=2
+        )
+        assert mc == pytest.approx(exact, rel=0.03)
+
+    def test_fully_mixed_worse_than_pure_nash(self):
+        """The classic fully-mixed intuition: mixing increases expected
+        maximum congestion versus a pure NE."""
+        game = kp_game([1.0, 1.0], [1.0, 1.0])
+        pure_cost = expected_max_congestion(game, [0, 1])
+        mixed_cost = expected_max_congestion(game, MixedProfile(np.full((2, 2), 0.5)))
+        assert mixed_cost > pure_cost
+
+
+class TestOptAndPoA:
+    def test_opt_max_congestion(self):
+        game = kp_game([1.0, 1.0], [1.0, 1.0])
+        value, sigma = opt_max_congestion(game)
+        assert value == pytest.approx(1.0)
+        assert len(set(sigma.as_tuple())) == 2
+
+    def test_poa_at_least_one(self):
+        for seed in range(5):
+            game = random_kp_game(4, 2, seed=seed)
+            profile = kp_greedy_nash(game)
+            assert kp_price_of_anarchy(game, profile) >= 1.0 - 1e-9
+
+    def test_mixed_poa_identical_links_bounded(self):
+        """For m=2 identical links the tight PoA is 3/2 (Koutsoupias-
+        Papadimitriou); the uniform mix on two unit users achieves it."""
+        game = kp_game([1.0, 1.0], [1.0, 1.0])
+        ratio = kp_price_of_anarchy(game, MixedProfile(np.full((2, 2), 0.5)))
+        assert ratio == pytest.approx(1.5)

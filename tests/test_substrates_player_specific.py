@@ -1,0 +1,154 @@
+"""Tests for the player-specific congestion-game substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, ModelError
+from repro.model.game import UncertainRoutingGame
+from repro.substrates.player_specific import PlayerSpecificGame
+
+
+def linear_tables(n: int, m: int, total: int, caps: np.ndarray) -> np.ndarray:
+    loads = np.arange(total + 1, dtype=np.float64)
+    return loads[None, None, :] / caps[:, :, None]
+
+
+@pytest.fixture
+def small_game() -> PlayerSpecificGame:
+    caps = np.array([[1.0, 2.0], [2.0, 1.0]])
+    return PlayerSpecificGame(
+        np.array([1, 2]), linear_tables(2, 2, 3, caps)
+    )
+
+
+class TestConstruction:
+    def test_basic(self, small_game):
+        assert small_game.num_players == 2
+        assert small_game.num_links == 2
+        assert small_game.total_weight == 3
+
+    def test_rejects_non_integer_like_weights(self):
+        with pytest.raises(ModelError):
+            PlayerSpecificGame(np.array([0, 1]), np.zeros((2, 2, 2)))
+
+    def test_rejects_wrong_table_shape(self):
+        with pytest.raises(DimensionError):
+            PlayerSpecificGame(np.array([1, 1]), np.zeros((2, 2, 5)))
+
+    def test_rejects_decreasing_costs(self):
+        tables = np.ones((2, 2, 3))
+        tables[0, 0] = [2.0, 1.0, 0.5]
+        with pytest.raises(ModelError, match="nondecreasing"):
+            PlayerSpecificGame(np.array([1, 1]), tables)
+
+    def test_rejects_single_link(self):
+        with pytest.raises(ModelError):
+            PlayerSpecificGame(np.array([1, 1]), np.ones((2, 1, 3)))
+
+    def test_rejects_nan(self):
+        tables = np.ones((2, 2, 3))
+        tables[1, 1, 2] = np.nan
+        with pytest.raises(ModelError):
+            PlayerSpecificGame(np.array([1, 1]), tables)
+
+
+class TestCosts:
+    def test_loads(self, small_game):
+        np.testing.assert_array_equal(small_game.loads([0, 0]), [3, 0])
+        np.testing.assert_array_equal(small_game.loads([0, 1]), [1, 2])
+
+    def test_costs_of(self, small_game):
+        # player 0 (w=1) on link0 with load 1 -> 1/1; player 1 (w=2) on
+        # link1 with load 2 -> 2/1.
+        np.testing.assert_allclose(small_game.costs_of([0, 1]), [1.0, 2.0])
+
+    def test_deviation_costs_diagonal(self, small_game):
+        sigma = np.array([0, 1])
+        dev = small_game.deviation_costs(sigma)
+        np.testing.assert_allclose(
+            dev[np.arange(2), sigma], small_game.costs_of(sigma)
+        )
+
+    def test_deviation_costs_off_diagonal(self, small_game):
+        dev = small_game.deviation_costs([0, 1])
+        # player 0 moving to link1: load 2+1=3 -> 3/2.
+        assert dev[0, 1] == pytest.approx(1.5)
+
+    def test_assignment_validation(self, small_game):
+        with pytest.raises(ModelError):
+            small_game.costs_of([0, 5])
+        with pytest.raises(DimensionError):
+            small_game.costs_of([0])
+
+
+class TestEquilibria:
+    def test_is_pure_nash_consistent_with_enumeration(self, small_game):
+        for profile in small_game.pure_nash_profiles():
+            assert small_game.is_pure_nash(profile)
+
+    def test_exists_matches_enumeration(self, small_game):
+        assert small_game.exists_pure_nash() == (
+            len(small_game.pure_nash_profiles()) > 0
+        )
+
+    def test_unweighted_always_has_pne(self):
+        """Milchtaich's positive result, sampled."""
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            base = rng.uniform(0.1, 1.0, size=(3, 3, 1))
+            inc = rng.exponential(1.0, size=(3, 3, 3))
+            arr = np.concatenate([base, base + np.cumsum(inc, axis=2)[:, :, :2]], axis=2)
+            game = PlayerSpecificGame.unweighted(arr)
+            assert game.exists_pure_nash()
+
+    def test_unweighted_best_response_converges(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            base = rng.uniform(0.1, 1.0, size=(3, 3, 1))
+            inc = rng.exponential(1.0, size=(3, 3, 3))
+            arr = np.concatenate([base, base + np.cumsum(inc, axis=2)[:, :, :2]], axis=2)
+            game = PlayerSpecificGame.unweighted(arr)
+            start = rng.integers(0, 3, size=3)
+            profile, converged, _ = game.best_response_dynamics(start)
+            assert converged
+            assert game.is_pure_nash(profile)
+
+
+class TestEmbedding:
+    def test_multiplicative_embedding_preserves_nash_sets(self):
+        """Our model's integer-weight games embed with identical NE."""
+        caps = np.array([[1.0, 2.0, 0.5], [2.0, 1.0, 1.5], [0.7, 0.9, 2.0]])
+        routing = UncertainRoutingGame.from_capacities([1.0, 2.0, 1.0], caps)
+        embedded = PlayerSpecificGame.from_uncertain_game(routing)
+        from repro.equilibria.enumeration import pure_nash_profiles
+
+        ours = {p.as_tuple() for p in pure_nash_profiles(routing)}
+        theirs = set(embedded.pure_nash_profiles())
+        assert ours == theirs
+
+    def test_embedding_rejects_fractional_weights(self):
+        game = UncertainRoutingGame.from_capacities(
+            [1.5, 2.0], np.ones((2, 2))
+        )
+        with pytest.raises(ModelError):
+            PlayerSpecificGame.from_uncertain_game(game)
+
+    def test_embedding_rejects_initial_traffic(self):
+        game = UncertainRoutingGame.from_capacities(
+            [1.0, 1.0], np.ones((2, 2)), initial_traffic=[1.0, 0.0]
+        )
+        with pytest.raises(ModelError):
+            PlayerSpecificGame.from_uncertain_game(game)
+
+    def test_costs_match_model_latencies(self):
+        caps = np.array([[1.0, 2.0], [2.0, 1.0]])
+        routing = UncertainRoutingGame.from_capacities([1.0, 2.0], caps)
+        embedded = PlayerSpecificGame.from_uncertain_game(routing)
+        from repro.model.latency import pure_latencies
+
+        for sigma in ([0, 0], [0, 1], [1, 0], [1, 1]):
+            np.testing.assert_allclose(
+                embedded.costs_of(sigma), pure_latencies(routing, sigma)
+            )

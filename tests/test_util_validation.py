@@ -1,0 +1,126 @@
+"""Tests for repro.util.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import BeliefError, DimensionError, ModelError
+from repro.util.validation import (
+    check_positive_array,
+    check_probability_matrix,
+    check_probability_vector,
+    check_shape,
+)
+
+
+class TestCheckPositiveArray:
+    def test_accepts_positive(self):
+        out = check_positive_array([1.0, 2.0], name="w")
+        np.testing.assert_array_equal(out, [1.0, 2.0])
+
+    def test_output_is_float64_contiguous(self):
+        out = check_positive_array([[1, 2], [3, 4]], name="c")
+        assert out.dtype == np.float64
+        assert out.flags.c_contiguous
+
+    def test_copies_input(self):
+        src = np.array([1.0, 2.0])
+        out = check_positive_array(src, name="w")
+        out_addr = out.__array_interface__["data"][0]
+        src_addr = src.__array_interface__["data"][0]
+        assert out_addr != src_addr
+
+    def test_rejects_zero(self):
+        with pytest.raises(ModelError, match="strictly positive"):
+            check_positive_array([1.0, 0.0], name="w")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelError):
+            check_positive_array([-1.0], name="w")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ModelError, match="non-finite"):
+            check_positive_array([1.0, np.nan], name="w")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ModelError, match="non-finite"):
+            check_positive_array([np.inf], name="w")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError, match="non-empty"):
+            check_positive_array([], name="w")
+
+    def test_ndim_enforced(self):
+        with pytest.raises(DimensionError):
+            check_positive_array([1.0, 2.0], name="w", ndim=2)
+
+    def test_error_message_includes_name(self):
+        with pytest.raises(ModelError, match="traffic"):
+            check_positive_array([0.0], name="traffic")
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_distribution(self):
+        out = check_probability_vector([0.25, 0.75], name="b")
+        np.testing.assert_allclose(out, [0.25, 0.75])
+
+    def test_renormalises_tiny_drift(self):
+        out = check_probability_vector([0.5 + 1e-12, 0.5], name="b")
+        assert out.sum() == pytest.approx(1.0, abs=1e-15)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(BeliefError, match="sum to 1"):
+            check_probability_vector([0.5, 0.6], name="b")
+
+    def test_rejects_negative(self):
+        with pytest.raises(BeliefError, match="negative"):
+            check_probability_vector([1.2, -0.2], name="b")
+
+    def test_rejects_matrix(self):
+        with pytest.raises(DimensionError):
+            check_probability_vector([[0.5, 0.5]], name="b")
+
+    def test_rejects_empty(self):
+        with pytest.raises(BeliefError):
+            check_probability_vector([], name="b")
+
+    def test_rejects_nan(self):
+        with pytest.raises(BeliefError):
+            check_probability_vector([np.nan, 1.0], name="b")
+
+    def test_point_mass_ok(self):
+        out = check_probability_vector([0.0, 1.0, 0.0], name="b")
+        np.testing.assert_array_equal(out, [0.0, 1.0, 0.0])
+
+
+class TestCheckProbabilityMatrix:
+    def test_accepts_row_stochastic(self):
+        out = check_probability_matrix([[0.5, 0.5], [1.0, 0.0]], name="P")
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_rejects_bad_row(self):
+        with pytest.raises(BeliefError, match="row 1"):
+            check_probability_matrix([[0.5, 0.5], [0.7, 0.5]], name="P")
+
+    def test_rejects_vector(self):
+        with pytest.raises(DimensionError):
+            check_probability_matrix([0.5, 0.5], name="P")
+
+    def test_rejects_negative_entry(self):
+        with pytest.raises(BeliefError):
+            check_probability_matrix([[1.5, -0.5]], name="P")
+
+    def test_rejects_nan(self):
+        with pytest.raises(BeliefError):
+            check_probability_matrix([[np.nan, 1.0]], name="P")
+
+
+class TestCheckShape:
+    def test_accepts_exact(self):
+        arr = np.zeros((2, 3))
+        assert check_shape(arr, (2, 3), name="x") is arr
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(DimensionError, match="shape"):
+            check_shape(np.zeros(3), (2,), name="x")
