@@ -1,0 +1,335 @@
+"""The pre-batch campaign, vendored verbatim from the seed commit.
+
+Every function below is an unmodified copy of the implementation this
+repository shipped before the batched game engine existed (commit
+eddd1a8, the seed), with only the intra-module imports rewired to this
+file. ``benchmarks/bench_batch.py`` times it as the historical
+per-instance baseline; keeping the real seed code (its call graph,
+per-step profile validation, dataclass plumbing) is what makes the
+measured speedup honest and stable — writing the baseline against
+today's single-game APIs would fold this PR's own single-game speedups
+into it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.analysis.conjecture import CampaignResult, CellResult
+from repro.errors import ConvergenceError, ModelError
+from repro.generators.games import random_game
+from repro.generators.suites import GridCell, conjecture_grid
+from repro.model.game import UncertainRoutingGame
+from repro.model.profiles import AssignmentLike, PureProfile, as_assignment, loads_of
+from repro.model.social import MAX_EXHAUSTIVE_PROFILES, enumerate_assignments
+from repro.util.rng import RandomState, as_generator
+from repro.util.rng import stable_seed
+
+Schedule = Literal["round_robin", "max_regret", "random"]
+
+
+
+# --- seed model/latency.py ---------------------------------------- #
+
+
+def deviation_latencies(
+    game: UncertainRoutingGame, assignment: AssignmentLike
+) -> np.ndarray:
+    """The ``(n, m)`` matrix of *hypothetical* latencies under a pure profile.
+
+    Entry ``(i, l)`` is the belief-expected latency user ``i`` would incur
+    by unilaterally routing on link ``l`` while everyone else stays put:
+
+    * on the current link it equals the current latency;
+    * on any other link it is ``(t_l + load_l + w_i) / C[i, l]``.
+
+    This matrix drives Nash checks and best-response computations: user
+    ``i`` is satisfied iff its row attains its minimum at ``sigma_i``.
+    """
+    sigma = as_assignment(assignment, game.num_users, game.num_links)
+    loads = loads_of(sigma, game.weights, game.num_links, game.initial_traffic)
+    n = game.num_users
+    users = np.arange(n)
+    # load seen by user i on link l if it moves there: current load + w_i,
+    # except on its own link where w_i is already counted.
+    seen = loads[None, :] + game.weights[:, None]
+    seen[users, sigma] -= game.weights
+    return seen / game.capacities
+
+
+
+# --- seed equilibria/best_response.py ------------------------------ #
+
+
+@dataclass
+class DynamicsResult:
+    """Outcome of a response dynamic run.
+
+    Attributes
+    ----------
+    profile:
+        The final pure profile (a Nash equilibrium iff ``converged``).
+    converged:
+        True when no user had a profitable deviation at termination.
+    steps:
+        Number of accepted improvement moves.
+    cycled:
+        True when the trajectory revisited a profile (possible only for
+        deterministic schedules; certifies a better-/best-response cycle).
+    cycle:
+        The cyclic segment of the trajectory when ``cycled``.
+    history:
+        Visited profiles in order (first entry is the start profile).
+    """
+
+    profile: PureProfile
+    converged: bool
+    steps: int
+    cycled: bool = False
+    cycle: list[PureProfile] = field(default_factory=list)
+    history: list[PureProfile] = field(default_factory=list)
+
+
+def _improvers(
+    dev: np.ndarray, sigma: np.ndarray, tol: float
+) -> np.ndarray:
+    """Users with a strictly improving deviation under tolerance *tol*."""
+    current = dev[np.arange(sigma.size), sigma]
+    scale = np.maximum(current, 1.0)
+    return np.flatnonzero(dev.min(axis=1) < current - tol * scale)
+
+
+def _run_dynamics(
+    game: UncertainRoutingGame,
+    start: AssignmentLike | None,
+    *,
+    mode: Literal["best", "better"],
+    schedule: Schedule,
+    max_steps: int,
+    tol: float,
+    seed: RandomState,
+    record_history: bool,
+    raise_on_budget: bool,
+) -> DynamicsResult:
+    n, m = game.num_users, game.num_links
+    rng = as_generator(seed)
+    if start is None:
+        sigma = rng.integers(0, m, size=n).astype(np.intp)
+    else:
+        sigma = as_assignment(start, n, m).copy()
+
+    history: list[PureProfile] = []
+    seen: dict[bytes, int] = {}
+    deterministic = schedule != "random"
+
+    def snapshot() -> PureProfile:
+        return PureProfile(sigma.copy(), m)
+
+    if record_history:
+        history.append(snapshot())
+
+    steps = 0
+    while steps < max_steps:
+        if deterministic:
+            key = sigma.tobytes()
+            if key in seen:
+                # Deterministic revisit => the remaining trajectory cycles.
+                start_idx = seen[key]
+                cycle = history[start_idx:] if record_history else []
+                return DynamicsResult(
+                    profile=snapshot(),
+                    converged=False,
+                    steps=steps,
+                    cycled=True,
+                    cycle=cycle,
+                    history=history,
+                )
+            seen[key] = len(history) - 1 if record_history else steps
+
+        dev = deviation_latencies(game, sigma)
+        movers = _improvers(dev, sigma, tol)
+        if movers.size == 0:
+            return DynamicsResult(
+                profile=snapshot(), converged=True, steps=steps, history=history
+            )
+
+        if schedule == "round_robin":
+            user = int(movers.min())
+        elif schedule == "max_regret":
+            current = dev[movers, sigma[movers]]
+            regret = current - dev[movers].min(axis=1)
+            user = int(movers[int(np.argmax(regret))])
+        else:  # random
+            user = int(rng.choice(movers))
+
+        row = dev[user]
+        if mode == "best":
+            target = int(np.argmin(row))
+        else:
+            current_cost = row[sigma[user]]
+            scale = max(current_cost, 1.0)
+            better = np.flatnonzero(row < current_cost - tol * scale)
+            target = int(better[0]) if deterministic else int(rng.choice(better))
+
+        sigma[user] = target
+        steps += 1
+        if record_history:
+            history.append(snapshot())
+
+    if raise_on_budget:
+        raise ConvergenceError(
+            f"dynamics did not converge within {max_steps} steps "
+            f"(n={n}, m={m}, schedule={schedule})"
+        )
+    return DynamicsResult(
+        profile=snapshot(), converged=False, steps=steps, history=history
+    )
+
+
+def best_response_dynamics(
+    game: UncertainRoutingGame,
+    start: AssignmentLike | None = None,
+    *,
+    schedule: Schedule = "round_robin",
+    max_steps: int = 100_000,
+    tol: float = 1e-9,
+    seed: RandomState = None,
+    record_history: bool = False,
+    raise_on_budget: bool = False,
+) -> DynamicsResult:
+    """Iterate single-user *best* responses until no user can improve.
+
+    With a deterministic schedule a revisited profile is reported as a
+    best-response cycle (``cycled=True``) instead of looping forever.
+    """
+    return _run_dynamics(
+        game,
+        start,
+        mode="best",
+        schedule=schedule,
+        max_steps=max_steps,
+        tol=tol,
+        seed=seed,
+        record_history=record_history,
+        raise_on_budget=raise_on_budget,
+    )
+
+
+
+# --- seed equilibria/enumeration.py -------------------------------- #
+
+
+def _blocks(total: int, block: int) -> Iterator[tuple[int, int]]:
+    start = 0
+    while start < total:
+        yield start, min(start + block, total)
+        start += block
+
+
+def pure_nash_mask(
+    game: UncertainRoutingGame,
+    assignments: np.ndarray,
+    *,
+    tol: float = 1e-9,
+    block_size: int = 65_536,
+) -> np.ndarray:
+    """Boolean mask over the rows of *assignments* that are pure NE.
+
+    Vectorised Nash test: a row ``sigma`` is an equilibrium iff for every
+    user ``i`` and link ``l``::
+
+        loads[sigma_i] / C[i, sigma_i]  <=  (loads[l] + w_i [l != sigma_i]) / C[i, l]
+    """
+    sig_all = np.ascontiguousarray(assignments, dtype=np.intp)
+    n, m = game.num_users, game.num_links
+    if sig_all.ndim != 2 or sig_all.shape[1] != n:
+        raise ModelError(f"assignments must have shape (B, {n})")
+    w = game.weights
+    caps = game.capacities
+    t = game.initial_traffic
+    out = np.empty(sig_all.shape[0], dtype=bool)
+
+    for lo, hi in _blocks(sig_all.shape[0], block_size):
+        sig = sig_all[lo:hi]
+        b = sig.shape[0]
+        loads = np.zeros((b, m))
+        for link in range(m):
+            loads[:, link] = (w[None, :] * (sig == link)).sum(axis=1)
+        loads += t[None, :]
+        rows = np.arange(b)[:, None]
+        users = np.arange(n)[None, :]
+        current = loads[rows, sig] / caps[users, sig]  # (b, n)
+        # seen[b, i, l] = loads[b, l] + w_i unless l == sigma_i
+        seen = loads[:, None, :] + w[None, :, None]
+        seen[rows, users, sig] -= w[None, :]
+        dev = seen / caps[None, :, :]
+        scale = np.maximum(current, 1.0)
+        out[lo:hi] = np.all(
+            dev.min(axis=2) >= current - tol * scale, axis=1
+        )
+    return out
+
+
+def count_pure_nash(game: UncertainRoutingGame, *, tol: float = 1e-9) -> int:
+    """Number of pure Nash equilibria (exhaustive)."""
+    assignments = enumerate_assignments(game.num_users, game.num_links)
+    return int(pure_nash_mask(game, assignments, tol=tol).sum())
+
+
+
+# --- seed analysis/conjecture.py ----------------------------------- #
+
+
+def _examine_instance(game: UncertainRoutingGame, seed: int) -> tuple[int, int, bool]:
+    """(number of pure NE, BRD steps, BRD converged) for one instance."""
+    count = count_pure_nash(game)
+    result = best_response_dynamics(
+        game, schedule="round_robin", max_steps=50_000, seed=seed
+    )
+    return count, result.steps, result.converged
+
+
+def seed_run_conjecture_campaign(
+    grid: Sequence[GridCell] | None = None,
+    *,
+    concentration: float = 1.0,
+    num_states: int = 4,
+    label: str = "E5",
+) -> CampaignResult:
+    """Run the campaign over *grid* (default: the published E5 grid)."""
+    cells = list(grid) if grid is not None else list(conjecture_grid())
+    outcome = CampaignResult()
+    for cell in cells:
+        counts: list[int] = []
+        steps: list[int] = []
+        converged_all = True
+        for rep in range(cell.replications):
+            seed = stable_seed(label, cell.num_users, cell.num_links, rep)
+            game = random_game(
+                cell.num_users,
+                cell.num_links,
+                num_states=num_states,
+                concentration=concentration,
+                seed=seed,
+            )
+            count, brd_steps, converged = _examine_instance(game, seed)
+            counts.append(count)
+            steps.append(brd_steps)
+            converged_all = converged_all and converged
+        outcome.cells.append(
+            CellResult(
+                num_users=cell.num_users,
+                num_links=cell.num_links,
+                instances=cell.replications,
+                with_pure_nash=sum(1 for c in counts if c > 0),
+                min_equilibria=min(counts),
+                max_equilibria=max(counts),
+                mean_equilibria=sum(counts) / len(counts),
+                mean_brd_steps=sum(steps) / len(steps),
+                brd_always_converged=converged_all,
+            )
+        )
+    return outcome

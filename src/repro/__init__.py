@@ -12,7 +12,11 @@ capacities, and implements everything the paper builds or cites:
   worst-case (social-cost-maximising) verification;
 * the price-of-anarchy bounds of Theorems 4.13/4.14;
 * the substrates: the KP-model and Milchtaich's player-specific games;
-* the experiment harness (E1-E12) regenerating every checkable artefact.
+* the experiment harness (E1-E12) regenerating every checkable artefact;
+* the batched game engine (:mod:`repro.batch`) — B instances stacked
+  into ``(B, n, m)`` tensors, with vectorised kernels, lockstep
+  best-response dynamics and a process-pool campaign layer; the
+  single-game APIs are its ``B = 1`` views.
 
 Quickstart::
 
@@ -79,6 +83,19 @@ from repro.analysis import (
     run_conjecture_campaign,
     verify_fmne_dominance,
 )
+from repro.batch import (
+    BatchDynamicsResult,
+    GameBatch,
+    batch_best_response_dynamics,
+    batch_better_response_dynamics,
+    batch_count_pure_nash,
+    batch_deviation_latencies,
+    batch_exists_pure_nash,
+    batch_loads,
+    batch_pure_latencies,
+    batch_pure_nash_mask,
+    random_game_batch,
+)
 from repro.substrates import PlayerSpecificGame, kp_game
 
 __version__ = "1.0.0"
@@ -133,6 +150,18 @@ __all__ = [
     "poa_bound_uniform",
     "run_conjecture_campaign",
     "verify_fmne_dominance",
+    # batch engine
+    "BatchDynamicsResult",
+    "GameBatch",
+    "batch_best_response_dynamics",
+    "batch_better_response_dynamics",
+    "batch_count_pure_nash",
+    "batch_deviation_latencies",
+    "batch_exists_pure_nash",
+    "batch_loads",
+    "batch_pure_latencies",
+    "batch_pure_nash_mask",
+    "random_game_batch",
     # substrates
     "PlayerSpecificGame",
     "kp_game",

@@ -10,6 +10,18 @@ counterexample to Conjecture 3.7, not a convergence failure.
 The campaign also records how pure NE are found in practice (how many
 best-response steps a round-robin dynamic needs), which substantiates the
 library's use of dynamics as the general-case solver.
+
+Execution model: each grid cell's replications are stacked into a
+:class:`~repro.batch.container.GameBatch` and examined by the batched
+kernels — one sweep decides pure-NE existence for the whole stack, one
+lockstep run drives every instance's best-response dynamic. Chunks of
+replications (``batch_size``) can additionally fan out over a process
+pool (``jobs``). Every replication's instance and dynamics seed is
+derived independently via :func:`~repro.util.rng.stable_seed`, so the
+results are bit-identical regardless of batching, chunking or worker
+count — and identical to examining each instance with the single-game
+APIs in a Python loop, which is exactly what this module did before the
+batch engine existed.
 """
 
 from __future__ import annotations
@@ -17,15 +29,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.model.game import UncertainRoutingGame
-from repro.equilibria.best_response import best_response_dynamics
-from repro.equilibria.enumeration import count_pure_nash
-from repro.generators.games import random_game
+from repro.batch.container import GameBatch
+from repro.batch.dynamics import batch_best_response_dynamics
+from repro.batch.kernels import batch_count_pure_nash
 from repro.generators.suites import GridCell, conjecture_grid
+from repro.util.parallel import chunk_ranges, run_tasks
 from repro.util.rng import stable_seed
 from repro.util.tables import Table
 
 __all__ = ["CellResult", "CampaignResult", "run_conjecture_campaign"]
+
+#: Step budget for the per-instance best-response dynamic.
+BRD_MAX_STEPS = 50_000
 
 
 @dataclass(frozen=True)
@@ -84,13 +99,46 @@ class CampaignResult:
         return table
 
 
-def _examine_instance(game: UncertainRoutingGame, seed: int) -> tuple[int, int, bool]:
-    """(number of pure NE, BRD steps, BRD converged) for one instance."""
-    count = count_pure_nash(game)
-    result = best_response_dynamics(
-        game, schedule="round_robin", max_steps=50_000, seed=seed
+@dataclass(frozen=True)
+class _CellChunk:
+    """A picklable unit of work: replications [rep_lo, rep_hi) of one cell."""
+
+    label: str
+    num_users: int
+    num_links: int
+    rep_lo: int
+    rep_hi: int
+    num_states: int
+    concentration: float
+
+
+def _examine_chunk(chunk: _CellChunk) -> tuple[list[int], list[int], list[bool]]:
+    """(pure-NE counts, BRD steps, BRD converged) for one replication chunk.
+
+    Seeds are a pure function of (label, n, m, rep), never of the chunk
+    boundaries, so any chunking of a cell concatenates to the same
+    per-replication sequence.
+    """
+    seeds = [
+        stable_seed(chunk.label, chunk.num_users, chunk.num_links, rep)
+        for rep in range(chunk.rep_lo, chunk.rep_hi)
+    ]
+    batch = GameBatch.from_seeds(
+        seeds,
+        chunk.num_users,
+        chunk.num_links,
+        num_states=chunk.num_states,
+        concentration=chunk.concentration,
     )
-    return count, result.steps, result.converged
+    counts = batch_count_pure_nash(batch)
+    dynamics = batch_best_response_dynamics(
+        batch, schedule="round_robin", max_steps=BRD_MAX_STEPS, seeds=seeds
+    )
+    return (
+        counts.tolist(),
+        dynamics.steps.tolist(),
+        dynamics.converged.tolist(),
+    )
 
 
 def run_conjecture_campaign(
@@ -99,27 +147,60 @@ def run_conjecture_campaign(
     concentration: float = 1.0,
     num_states: int = 4,
     label: str = "E5",
+    jobs: int = 1,
+    batch_size: int | None = None,
 ) -> CampaignResult:
-    """Run the campaign over *grid* (default: the published E5 grid)."""
+    """Run the campaign over *grid* (default: the published E5 grid).
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for the chunk fan-out; ``1`` (default) runs
+        inline, ``0`` uses every CPU.
+    batch_size:
+        Replications per :class:`GameBatch` chunk; ``None`` stacks each
+        cell's full replication axis into one batch. Smaller chunks
+        trade kernel width for process-pool granularity. Results do not
+        depend on this value.
+    """
     cells = list(grid) if grid is not None else list(conjecture_grid())
-    outcome = CampaignResult()
-    for cell in cells:
-        counts: list[int] = []
-        steps: list[int] = []
-        converged_all = True
-        for rep in range(cell.replications):
-            seed = stable_seed(label, cell.num_users, cell.num_links, rep)
-            game = random_game(
-                cell.num_users,
-                cell.num_links,
-                num_states=num_states,
-                concentration=concentration,
-                seed=seed,
+    chunks: list[_CellChunk] = []
+    cell_of_chunk: list[int] = []
+    for cell_index, cell in enumerate(cells):
+        for lo, hi in chunk_ranges(cell.replications, batch_size):
+            chunks.append(
+                _CellChunk(
+                    label=label,
+                    num_users=cell.num_users,
+                    num_links=cell.num_links,
+                    rep_lo=lo,
+                    rep_hi=hi,
+                    num_states=num_states,
+                    concentration=concentration,
+                )
             )
-            count, brd_steps, converged = _examine_instance(game, seed)
-            counts.append(count)
-            steps.append(brd_steps)
-            converged_all = converged_all and converged
+            cell_of_chunk.append(cell_index)
+
+    chunk_results = run_tasks(_examine_chunk, chunks, jobs=jobs)
+
+    # One pass: chunks arrive in submission order, so each cell's
+    # replications concatenate back in rep order regardless of jobs.
+    counts_by_cell: list[list[int]] = [[] for _ in cells]
+    steps_by_cell: list[list[int]] = [[] for _ in cells]
+    converged_by_cell: list[bool] = [True] * len(cells)
+    for cell_index, result in zip(cell_of_chunk, chunk_results):
+        chunk_counts, chunk_steps, chunk_converged = result
+        counts_by_cell[cell_index].extend(chunk_counts)
+        steps_by_cell[cell_index].extend(chunk_steps)
+        converged_by_cell[cell_index] = converged_by_cell[cell_index] and all(
+            chunk_converged
+        )
+
+    outcome = CampaignResult()
+    for cell_index, cell in enumerate(cells):
+        counts = counts_by_cell[cell_index]
+        steps = steps_by_cell[cell_index]
+        converged_all = converged_by_cell[cell_index]
         outcome.cells.append(
             CellResult(
                 num_users=cell.num_users,

@@ -1,0 +1,43 @@
+"""Batched game engine — stack B instances into ``(B, n, m)`` tensors.
+
+The subsystem behind the library's instance-parallel workloads:
+
+* :class:`GameBatch`             — the stacked container (weights,
+  effective capacities, initial traffic);
+* :mod:`repro.batch.kernels`     — broadcastable latency / Nash kernels;
+  the single-game functions in :mod:`repro.model.latency` and
+  :mod:`repro.equilibria.enumeration` are their ``B = 1`` views;
+* :mod:`repro.batch.dynamics`    — lockstep best-/better-response
+  dynamics with an active mask and per-game cycle detection;
+* :mod:`repro.batch.generator`   — one-pass vectorised instance drawing.
+"""
+
+from repro.batch.container import GameBatch
+from repro.batch.dynamics import (
+    BatchDynamicsResult,
+    batch_best_response_dynamics,
+    batch_better_response_dynamics,
+)
+from repro.batch.generator import random_game_batch
+from repro.batch.kernels import (
+    batch_count_pure_nash,
+    batch_deviation_latencies,
+    batch_exists_pure_nash,
+    batch_loads,
+    batch_pure_latencies,
+    batch_pure_nash_mask,
+)
+
+__all__ = [
+    "GameBatch",
+    "BatchDynamicsResult",
+    "batch_best_response_dynamics",
+    "batch_better_response_dynamics",
+    "random_game_batch",
+    "batch_count_pure_nash",
+    "batch_deviation_latencies",
+    "batch_exists_pure_nash",
+    "batch_loads",
+    "batch_pure_latencies",
+    "batch_pure_nash_mask",
+]

@@ -1,0 +1,232 @@
+"""The :class:`GameBatch` container — B games stacked into dense tensors.
+
+A batch holds ``B`` uncertain-routing games that share the same shape
+``(n, m)`` but differ in weights, effective capacities and initial
+traffic:
+
+* ``weights``          — ``(B, n)``  traffic vectors;
+* ``capacities``       — ``(B, n, m)`` reduced-form effective capacities;
+* ``initial_traffic``  — ``(B, m)``  per-link pre-existing traffic.
+
+Because every latency/equilibrium computation in the library is a
+function of the reduced form alone (see :mod:`repro.model.game`), this is
+a lossless representation for everything the batched kernels compute; a
+single :class:`~repro.model.game.UncertainRoutingGame` is exactly the
+``B = 1`` slice. :meth:`GameBatch.game` reconstructs the per-instance
+game object when a single-game API is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionError, ModelError
+from repro.model.game import UncertainRoutingGame
+
+__all__ = ["GameBatch"]
+
+
+class GameBatch:
+    """An immutable stack of ``B`` same-shape uncertain routing games."""
+
+    __slots__ = ("_weights", "_capacities", "_initial_traffic")
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        capacities: np.ndarray,
+        *,
+        initial_traffic: np.ndarray | None = None,
+    ) -> None:
+        caps = np.array(capacities, dtype=np.float64, copy=True, order="C")
+        w = np.array(weights, dtype=np.float64, copy=True, order="C")
+        if caps.ndim != 3:
+            raise DimensionError(
+                f"capacities must have shape (B, n, m), got {caps.shape}"
+            )
+        b, n, m = caps.shape
+        if w.shape != (b, n):
+            raise DimensionError(
+                f"weights must have shape ({b}, {n}), got {w.shape}"
+            )
+        if b < 1:
+            raise ModelError("a batch needs at least one game")
+        if n < 2 or m < 2:
+            raise ModelError(f"the model requires n > 1 and m > 1, got ({n}, {m})")
+        for name, arr in (("weights", w), ("capacities", caps)):
+            if not np.all(np.isfinite(arr)) or np.any(arr <= 0.0):
+                raise ModelError(f"{name} must be finite and strictly positive")
+        if initial_traffic is None:
+            t = np.zeros((b, m))
+        else:
+            t = np.array(initial_traffic, dtype=np.float64, copy=True, order="C")
+            if t.shape != (b, m):
+                raise DimensionError(
+                    f"initial_traffic must have shape ({b}, {m}), got {t.shape}"
+                )
+            if not np.all(np.isfinite(t)) or np.any(t < 0.0):
+                raise ModelError("initial_traffic must be finite and non-negative")
+        self._weights = w
+        self._capacities = caps
+        self._initial_traffic = t
+        for arr in (self._weights, self._capacities, self._initial_traffic):
+            arr.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_games(cls, games: Sequence[UncertainRoutingGame]) -> "GameBatch":
+        """Stack existing game objects (all must share ``(n, m)``)."""
+        games = list(games)
+        if not games:
+            raise ModelError("from_games needs at least one game")
+        n, m = games[0].num_users, games[0].num_links
+        for i, g in enumerate(games):
+            if g.num_users != n or g.num_links != m:
+                raise DimensionError(
+                    f"game {i} has shape ({g.num_users}, {g.num_links}), "
+                    f"batch has ({n}, {m})"
+                )
+        return cls(
+            np.stack([g.weights for g in games]),
+            np.stack([g.capacities for g in games]),
+            initial_traffic=np.stack([g.initial_traffic for g in games]),
+        )
+
+    @classmethod
+    def from_seeds(
+        cls,
+        seeds: Sequence[int],
+        num_users: int,
+        num_links: int,
+        *,
+        num_states: int = 4,
+        concentration: float = 1.0,
+        weight_kind: str = "uniform",
+        cap_low: float = 0.5,
+        cap_high: float = 4.0,
+        with_initial_traffic: bool = False,
+    ) -> "GameBatch":
+        """One game per seed, bit-identical to ``random_game(seed=s)``.
+
+        Replays :func:`repro.generators.games.random_game`'s RNG draws
+        (state capacities, per-user Dirichlet beliefs, weights) without
+        constructing intermediate model objects, then stacks the reduced
+        forms. ``GameBatch.from_seeds(seeds, ...).game(i)`` has exactly
+        the same weights/capacities/traffic arrays as
+        ``random_game(..., seed=seeds[i])`` — the campaign's determinism
+        contract rests on this.
+        """
+        from repro.generators.games import random_weights
+
+        if num_users < 2 or num_links < 2:
+            raise ModelError("the model requires n > 1 and m > 1")
+        if num_states < 1:
+            raise ModelError("num_states must be >= 1")
+        if concentration <= 0:
+            raise ModelError("concentration must be positive")
+        if not (0 < cap_low < cap_high):
+            raise ModelError("require 0 < cap_low < cap_high")
+        seeds = list(seeds)
+        b = len(seeds)
+        weights = np.empty((b, num_users))
+        states = np.empty((b, num_states, num_links))
+        beliefs = np.empty((b, num_users, num_states))
+        traffic = np.zeros((b, num_links))
+        alpha = np.full(num_states, concentration)
+        # The loop holds only the RNG draws (stream order is the parity
+        # contract); all arithmetic is vectorised over the stack below.
+        for k, seed in enumerate(seeds):
+            # Generator(PCG64(seed)) is stream-identical to
+            # default_rng(seed) and measurably cheaper to construct,
+            # which matters at thousands of instances per second.
+            rng = np.random.Generator(np.random.PCG64(seed))
+            states[k] = rng.uniform(
+                cap_low, cap_high, size=(num_states, num_links)
+            )
+            # One block draw consumes the stream exactly like the
+            # per-user dirichlet_belief calls of random_game.
+            beliefs[k] = rng.dirichlet(alpha, size=num_users)
+            weights[k] = random_weights(num_users, kind=weight_kind, seed=rng)
+            if with_initial_traffic:
+                traffic[k] = rng.uniform(0.0, 2.0, size=num_links)
+        # Mirror the dirichlet_belief factory + Belief validation exactly:
+        # clip away exact zeros (maximum == one-sided clip), then
+        # normalise twice (the factory once, check_probability_vector
+        # once more).
+        np.maximum(beliefs, 1e-15, out=beliefs)
+        beliefs /= beliefs.sum(axis=-1, keepdims=True)
+        beliefs /= beliefs.sum(axis=-1, keepdims=True)
+        caps = 1.0 / (beliefs @ (1.0 / states))
+        return cls(
+            weights,
+            caps,
+            initial_traffic=traffic if with_initial_traffic else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def batch_size(self) -> int:
+        """``B`` — number of stacked games."""
+        return self._capacities.shape[0]
+
+    @property
+    def num_users(self) -> int:
+        """``n`` — users per game."""
+        return self._capacities.shape[1]
+
+    @property
+    def num_links(self) -> int:
+        """``m`` — links per game."""
+        return self._capacities.shape[2]
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Read-only ``(B, n)`` traffic vectors."""
+        return self._weights
+
+    @property
+    def capacities(self) -> np.ndarray:
+        """Read-only ``(B, n, m)`` effective-capacity tensors."""
+        return self._capacities
+
+    @property
+    def initial_traffic(self) -> np.ndarray:
+        """Read-only ``(B, m)`` initial per-link traffic (zeros by default)."""
+        return self._initial_traffic
+
+    def game(self, index: int) -> UncertainRoutingGame:
+        """Materialise game *index* as an :class:`UncertainRoutingGame`."""
+        return UncertainRoutingGame.from_capacities(
+            self._weights[index],
+            self._capacities[index],
+            initial_traffic=self._initial_traffic[index],
+        )
+
+    def subbatch(self, indices: Sequence[int] | np.ndarray) -> "GameBatch":
+        """The batch restricted to *indices* (order kept)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return GameBatch(
+            self._weights[idx],
+            self._capacities[idx],
+            initial_traffic=self._initial_traffic[idx],
+        )
+
+    def __len__(self) -> int:
+        return self.batch_size
+
+    def __iter__(self) -> Iterator[UncertainRoutingGame]:
+        return (self.game(i) for i in range(self.batch_size))
+
+    def __repr__(self) -> str:
+        return (
+            f"GameBatch(B={self.batch_size}, n={self.num_users}, "
+            f"m={self.num_links})"
+        )

@@ -23,6 +23,20 @@ from repro.experiments.registry import EXPERIMENTS, run_experiment
 __all__ = ["main", "build_parser"]
 
 
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -46,6 +60,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reduced replication counts (smoke mode)",
     )
+    run_p.add_argument(
+        "--jobs",
+        type=_non_negative_int,
+        default=1,
+        help="worker processes for batched campaigns (0 = all CPUs)",
+    )
+    run_p.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=None,
+        help="instances per GameBatch chunk (default: one batch per cell)",
+    )
 
     report_p = sub.add_parser(
         "report", help="run all experiments and write EXPERIMENTS.md"
@@ -59,6 +85,18 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument(
         "--ids", nargs="*", default=None, help="subset of experiment ids"
     )
+    report_p.add_argument(
+        "--jobs",
+        type=_non_negative_int,
+        default=1,
+        help="worker processes for batched campaigns (0 = all CPUs)",
+    )
+    report_p.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=None,
+        help="instances per GameBatch chunk (default: one batch per cell)",
+    )
     return parser
 
 
@@ -69,13 +107,20 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(ids: Sequence[str], quick: bool) -> int:
+def _cmd_run(
+    ids: Sequence[str],
+    quick: bool,
+    jobs: int = 1,
+    batch_size: int | None = None,
+) -> int:
     if any(x.lower() == "all" for x in ids):
         ids = list(EXPERIMENTS)
     failures = 0
     for experiment_id in ids:
         start = time.perf_counter()
-        result = run_experiment(experiment_id, quick=quick)
+        result = run_experiment(
+            experiment_id, quick=quick, jobs=jobs, batch_size=batch_size
+        )
         elapsed = time.perf_counter() - start
         print(result.render())
         print(f"(elapsed: {elapsed:.2f}s)\n")
@@ -88,10 +133,16 @@ def _cmd_run(ids: Sequence[str], quick: bool) -> int:
     return 0
 
 
-def _cmd_report(output: str, quick: bool, ids: Sequence[str] | None) -> int:
+def _cmd_report(
+    output: str,
+    quick: bool,
+    ids: Sequence[str] | None,
+    jobs: int = 1,
+    batch_size: int | None = None,
+) -> int:
     from repro.experiments.report import render_markdown, run_all
 
-    run = run_all(quick=quick, ids=ids)
+    run = run_all(quick=quick, ids=ids, jobs=jobs, batch_size=batch_size)
     text = render_markdown(run, quick=quick)
     with open(output, "w", encoding="utf-8") as fh:
         fh.write(text + "\n")
@@ -105,9 +156,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.ids, args.quick)
+        return _cmd_run(args.ids, args.quick, args.jobs, args.batch_size)
     if args.command == "report":
-        return _cmd_report(args.output, args.quick, args.ids)
+        return _cmd_report(
+            args.output, args.quick, args.ids, args.jobs, args.batch_size
+        )
     raise AssertionError("unreachable")  # pragma: no cover
 
 

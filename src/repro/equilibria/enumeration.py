@@ -3,8 +3,12 @@
 The Section 3.2 simulation campaign and the n=3 existence claim both rest
 on being able to *decide* whether a small game has a pure NE. This module
 sweeps all ``m^n`` assignments fully vectorised: for a block of profiles
-it materialises the ``(B, n, m)`` deviation-latency tensor and keeps the
-rows whose minimum sits on the diagonal of the chosen links.
+it asks the shared batched kernel
+(:func:`repro.batch.kernels.batch_pure_nash_mask`) for the ``(P, n, m)``
+deviation-latency tensor and keeps the rows whose minimum sits on the
+diagonal of the chosen links — the single-game sweep is just the
+one-game view of the same code path the campaign uses over ``(B, P)``
+stacks.
 
 Blocks bound peak memory, so games up to a few million profiles are
 checked without allocating the full tensor at once.
@@ -12,14 +16,14 @@ checked without allocating the full tensor at once.
 
 from __future__ import annotations
 
-from typing import Iterator
-
 import numpy as np
 
+from repro.batch.kernels import sweep_pure_nash_mask
 from repro.errors import ModelError
 from repro.model.game import UncertainRoutingGame
 from repro.model.profiles import PureProfile
 from repro.model.social import MAX_EXHAUSTIVE_PROFILES, enumerate_assignments
+from repro.util.parallel import chunk_ranges
 
 __all__ = [
     "pure_nash_mask",
@@ -27,13 +31,6 @@ __all__ = [
     "exists_pure_nash",
     "count_pure_nash",
 ]
-
-
-def _blocks(total: int, block: int) -> Iterator[tuple[int, int]]:
-    start = 0
-    while start < total:
-        yield start, min(start + block, total)
-        start += block
 
 
 def pure_nash_mask(
@@ -51,32 +48,18 @@ def pure_nash_mask(
         loads[sigma_i] / C[i, sigma_i]  <=  (loads[l] + w_i [l != sigma_i]) / C[i, l]
     """
     sig_all = np.ascontiguousarray(assignments, dtype=np.intp)
-    n, m = game.num_users, game.num_links
+    n = game.num_users
     if sig_all.ndim != 2 or sig_all.shape[1] != n:
         raise ModelError(f"assignments must have shape (B, {n})")
-    w = game.weights
-    caps = game.capacities
-    t = game.initial_traffic
     out = np.empty(sig_all.shape[0], dtype=bool)
-
-    for lo, hi in _blocks(sig_all.shape[0], block_size):
-        sig = sig_all[lo:hi]
-        b = sig.shape[0]
-        loads = np.zeros((b, m))
-        for link in range(m):
-            loads[:, link] = (w[None, :] * (sig == link)).sum(axis=1)
-        loads += t[None, :]
-        rows = np.arange(b)[:, None]
-        users = np.arange(n)[None, :]
-        current = loads[rows, sig] / caps[users, sig]  # (b, n)
-        # seen[b, i, l] = loads[b, l] + w_i unless l == sigma_i
-        seen = loads[:, None, :] + w[None, :, None]
-        seen[rows, users, sig] -= w[None, :]
-        dev = seen / caps[None, :, :]
-        scale = np.maximum(current, 1.0)
-        out[lo:hi] = np.all(
-            dev.min(axis=2) >= current - tol * scale, axis=1
-        )
+    for lo, hi in chunk_ranges(sig_all.shape[0], block_size):
+        out[lo:hi] = sweep_pure_nash_mask(
+            sig_all[lo:hi],
+            game.weights[None, :],
+            game.capacities[None, :, :],
+            game.initial_traffic[None, :],
+            tol=tol,
+        )[0]
     return out
 
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
 from repro.experiments.algorithms import run_e1, run_e2, run_e3, run_e4
@@ -42,6 +43,16 @@ def get_experiment(experiment_id: str) -> Runner:
     return EXPERIMENTS[key][1]
 
 
-def run_experiment(experiment_id: str, *, quick: bool = False) -> ExperimentResult:
-    """Run one experiment by id."""
-    return get_experiment(experiment_id)(quick=quick)
+def run_experiment(
+    experiment_id: str, *, quick: bool = False, **options
+) -> ExperimentResult:
+    """Run one experiment by id.
+
+    Extra keyword *options* (e.g. ``jobs``/``batch_size`` from the CLI)
+    are forwarded to runners that declare them and silently dropped for
+    runners that don't, so global flags can be applied to any id set.
+    """
+    runner = get_experiment(experiment_id)
+    accepted = inspect.signature(runner).parameters
+    kwargs = {k: v for k, v in options.items() if k in accepted}
+    return runner(quick=quick, **kwargs)

@@ -1,5 +1,12 @@
-"""Reproducible random-instance generators and named workload suites."""
+"""Reproducible random-instance generators and named workload suites.
 
+Single-instance generators live in :mod:`repro.generators.games`; the
+vectorised batch generator (:func:`random_game_batch`, drawing all B
+instances of a cell in one RNG pass) is re-exported from
+:mod:`repro.batch.generator`.
+"""
+
+from repro.batch.generator import random_game_batch
 from repro.generators.games import (
     random_game,
     random_kp_game,
@@ -17,6 +24,7 @@ from repro.generators.suites import (
 
 __all__ = [
     "random_game",
+    "random_game_batch",
     "random_kp_game",
     "random_symmetric_game",
     "random_two_link_game",

@@ -36,25 +36,33 @@ def random_weights(
     *,
     kind: WeightKind = "uniform",
     seed: RandomState = None,
+    batch_size: int | None = None,
 ) -> np.ndarray:
-    """Sample a strictly positive traffic vector.
+    """Sample a strictly positive traffic vector (or a stack of them).
 
     ``uniform`` draws from [0.5, 4); ``exponential`` gives heavy one-sided
     skew; ``lognormal`` gives multiplicative spread (elephant/mice mixes);
     ``integer`` draws small integers (needed by the player-specific
     substrate embedding).
+
+    With *batch_size* the result is a ``(batch_size, num_users)`` block
+    drawn in one RNG pass — the single definition of the distribution
+    constants shared by the batched generators.
     """
     rng = as_generator(seed)
     if num_users < 2:
         raise ModelError("num_users must be >= 2")
+    if batch_size is not None and batch_size < 1:
+        raise ModelError("batch_size must be >= 1")
+    size = num_users if batch_size is None else (batch_size, num_users)
     if kind == "uniform":
-        return rng.uniform(0.5, 4.0, size=num_users)
+        return rng.uniform(0.5, 4.0, size=size)
     if kind == "exponential":
-        return rng.exponential(1.0, size=num_users) + 0.05
+        return rng.exponential(1.0, size=size) + 0.05
     if kind == "lognormal":
-        return rng.lognormal(mean=0.0, sigma=0.75, size=num_users)
+        return rng.lognormal(mean=0.0, sigma=0.75, size=size)
     if kind == "integer":
-        return rng.integers(1, 6, size=num_users).astype(np.float64)
+        return rng.integers(1, 6, size=size).astype(np.float64)
     raise ModelError(f"unknown weight kind {kind!r}")
 
 

@@ -13,6 +13,7 @@ from typing import Iterator
 __all__ = [
     "GridCell",
     "conjecture_grid",
+    "quick_conjecture_grid",
     "small_verification_grid",
     "poa_grid",
     "scaling_sizes",
@@ -46,6 +47,14 @@ def conjecture_grid(*, replications: int = 40) -> Iterator[GridCell]:
         (10, 2),
     ]
     for n, m in cells:
+        yield GridCell(n, m, replications)
+
+
+def quick_conjecture_grid(*, replications: int = 8) -> Iterator[GridCell]:
+    """The E5 ``--quick`` smoke grid — the single source of these cells,
+    shared by the runner, the frozen-baseline parity test and the
+    batched-vs-seed benchmark so the copies cannot drift apart."""
+    for n, m in [(2, 2), (3, 3), (4, 2), (5, 3)]:
         yield GridCell(n, m, replications)
 
 

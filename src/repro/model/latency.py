@@ -12,13 +12,22 @@ All computations reduce to the game's ``(n, m)`` effective-capacity matrix
 The per-state latencies ``lambda_{i,phi}`` are also provided so tests can
 verify the reduction ``E_b[ load / c_phi ] = load / c_eff`` directly.
 
-Everything is NumPy-vectorised; no Python loops over users or links.
+The pure-profile functions are the ``B = 1`` views of the batched
+kernels in :mod:`repro.batch.kernels` — one shared array code path
+serves a single game here and a ``(B, n, m)`` stack in the campaign
+layer. Everything is NumPy-vectorised; no Python loops over users or
+links.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.batch.kernels import (
+    batch_deviation_latencies,
+    batch_loads,
+    batch_pure_latencies,
+)
 from repro.model.game import UncertainRoutingGame
 from repro.model.profiles import (
     AssignmentLike,
@@ -46,9 +55,9 @@ def pure_latencies(game: UncertainRoutingGame, assignment: AssignmentLike) -> np
     Returns the length-``n`` vector ``lambda_{i, b_i}(sigma)``.
     """
     sigma = as_assignment(assignment, game.num_users, game.num_links)
-    loads = loads_of(sigma, game.weights, game.num_links, game.initial_traffic)
-    users = np.arange(game.num_users)
-    return loads[sigma] / game.capacities[users, sigma]
+    return batch_pure_latencies(
+        sigma, game.weights, game.capacities, game.initial_traffic
+    )
 
 
 def pure_latency_of_user(
@@ -56,7 +65,9 @@ def pure_latency_of_user(
 ) -> float:
     """``lambda_{user, b_user}(sigma)`` for a single user."""
     sigma = as_assignment(assignment, game.num_users, game.num_links)
-    loads = loads_of(sigma, game.weights, game.num_links, game.initial_traffic)
+    loads = batch_loads(
+        sigma, game.weights, game.num_links, game.initial_traffic
+    )
     link = int(sigma[user])
     return float(loads[link] / game.capacities[user, link])
 
@@ -91,14 +102,9 @@ def deviation_latencies(
     ``i`` is satisfied iff its row attains its minimum at ``sigma_i``.
     """
     sigma = as_assignment(assignment, game.num_users, game.num_links)
-    loads = loads_of(sigma, game.weights, game.num_links, game.initial_traffic)
-    n = game.num_users
-    users = np.arange(n)
-    # load seen by user i on link l if it moves there: current load + w_i,
-    # except on its own link where w_i is already counted.
-    seen = loads[None, :] + game.weights[:, None]
-    seen[users, sigma] -= game.weights
-    return seen / game.capacities
+    return batch_deviation_latencies(
+        sigma, game.weights, game.capacities, game.initial_traffic
+    )
 
 
 def expected_loads(game: UncertainRoutingGame, mixed: MixedLike) -> np.ndarray:

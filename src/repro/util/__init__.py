@@ -1,5 +1,7 @@
-"""Shared utilities: RNG handling, validation, table rendering, timing."""
+"""Shared utilities: RNG handling, validation, table rendering, timing,
+chunked process-pool execution."""
 
+from repro.util.parallel import chunk_ranges, resolve_jobs, run_tasks
 from repro.util.rng import as_generator, spawn_generators, stable_seed
 from repro.util.tables import Table, format_float
 from repro.util.timing import ScalingFit, fit_power_law, time_callable
@@ -10,6 +12,9 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "chunk_ranges",
+    "resolve_jobs",
+    "run_tasks",
     "as_generator",
     "spawn_generators",
     "stable_seed",

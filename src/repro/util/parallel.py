@@ -1,0 +1,73 @@
+"""Chunked process-pool execution for instance-parallel sweeps.
+
+The campaign layer splits its replication axis into chunks, derives a
+deterministic seed for every replication via
+:func:`repro.util.rng.stable_seed` (so results are independent of the
+chunking and of worker scheduling), and runs the chunks through
+:func:`run_tasks`. Task functions must be picklable module-level
+callables and task payloads plain data — the usual
+:class:`~concurrent.futures.ProcessPoolExecutor` rules.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["chunk_ranges", "resolve_jobs", "run_tasks"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def chunk_ranges(total: int, chunk_size: int | None = None) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``[lo, hi)`` chunks of *chunk_size*.
+
+    ``chunk_size=None`` (or >= total) yields a single chunk; ``total=0``
+    yields none.
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if total == 0:
+        return []
+    step = total if chunk_size is None else chunk_size
+    return [(lo, min(lo + step, total)) for lo in range(0, total, step)]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` value.
+
+    ``0`` (the CLI's explicit "use everything" spelling) means all CPUs;
+    ``None`` means "not specified" and stays inline (1), mirroring the
+    ``batch_size=None`` default elsewhere — an unset Optional must never
+    silently opt a caller into a full-machine process pool.
+    """
+    if jobs is None:
+        return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be non-negative, got {jobs}")
+    return jobs
+
+
+def run_tasks(
+    fn: Callable[[T], R], tasks: Sequence[T], *, jobs: int | None = 1
+) -> list[R]:
+    """Map *fn* over *tasks*, preserving order.
+
+    ``jobs=None`` or ``jobs=1`` runs inline (no pool, no pickling);
+    ``jobs=0`` uses all CPUs; anything larger fans out over a
+    :class:`ProcessPoolExecutor`. Results always come back in task
+    order, so callers aggregate deterministically no matter how the
+    pool schedules the work.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        return list(pool.map(fn, tasks))

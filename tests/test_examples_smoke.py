@@ -44,3 +44,9 @@ class TestExamples:
         assert "nashify never worsens max congestion" in out
         # Every common-beliefs row must report the guarantee as preserved.
         assert "NO" not in out.split("Distinct beliefs")[0]
+
+    def test_batch_campaign(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["batch_campaign.py", "500"])
+        out = run_example("batch_campaign.py", capsys)
+        assert "Batched conjecture sweep" in out
+        assert "Conjecture 3.7 supported" in out

@@ -1,0 +1,66 @@
+"""Tests for the chunked process-pool helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.parallel import chunk_ranges, resolve_jobs, run_tasks
+
+
+def _square(x: int) -> int:
+    """Module-level so the process pool can pickle it."""
+    return x * x
+
+
+class TestChunkRanges:
+    def test_none_is_single_chunk(self):
+        assert chunk_ranges(10) == [(0, 10)]
+
+    def test_exact_division(self):
+        assert chunk_ranges(6, 2) == [(0, 2), (2, 4), (4, 6)]
+
+    def test_ragged_tail(self):
+        assert chunk_ranges(7, 3) == [(0, 3), (3, 6), (6, 7)]
+
+    def test_oversized_chunk(self):
+        assert chunk_ranges(4, 100) == [(0, 4)]
+
+    def test_empty(self):
+        assert chunk_ranges(0) == []
+        assert chunk_ranges(0, 5) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(-1)
+        with pytest.raises(ValueError):
+            chunk_ranges(5, 0)
+
+
+class TestResolveJobs:
+    def test_explicit(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_means_all_cpus(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_none_stays_inline(self):
+        assert resolve_jobs(None) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestRunTasks:
+    def test_inline(self):
+        assert run_tasks(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_pool_preserves_order(self):
+        tasks = list(range(20))
+        assert run_tasks(_square, tasks, jobs=2) == [x * x for x in tasks]
+
+    def test_single_task_stays_inline(self):
+        assert run_tasks(_square, [5], jobs=8) == [25]
+
+    def test_empty(self):
+        assert run_tasks(_square, [], jobs=4) == []
