@@ -1,0 +1,179 @@
+"""Batched vs per-instance mixed/PoA throughput (the mixed-engine gate).
+
+Measures the Section 4 pipeline two ways:
+
+* ``batched`` — the :mod:`repro.batch.mixed` / :mod:`repro.batch.poa`
+  kernels driven exactly as the E7-E11 runners drive them (stacked
+  ``GameBatch`` per cell, closed-form candidates, Nash verdicts, bounds,
+  optima and ratios in whole-stack kernel calls);
+* ``looped``  — the pipeline exactly as it existed before the batched
+  mixed engine, vendored verbatim from the pre-batch code in
+  ``benchmarks/mixed_seed_baseline.py`` (per-game closed form, per-game
+  ``m^n`` sweeps for pure NE and both optima, per-equilibrium cost
+  loops). Using today's single-game APIs instead would fold this PR's
+  own single-game refactors into the baseline and understate the gain.
+
+Both produce bit-identical results (asserted before timing; the frozen
+``tests/data/mixed_seed_baseline.json`` pins the same contract in the
+tier-1 suite). The >= 5x gate runs the *pipeline*: the E7-width
+closed-form FMNE verification sweep plus the E10-width PoA study
+(``poa_grid``, 25 replications per cell — the campaign's standard
+width). The FMNE half alone sits near the parity-locked per-instance
+RNG floor (~4-5x: both sides must replay every instance's RNG stream
+draw for draw), which the report line records for transparency; the PoA
+half, where batching removes three per-game ``m^n`` sweeps and the
+per-equilibrium Python loop, clears 5x on its own.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+from mixed_seed_baseline import (
+    seed_fmne_closed_form_sweep,
+    seed_poa_study,
+)
+
+from repro.analysis.poa import poa_study
+from repro.batch import (
+    GameBatch,
+    batch_empirical_ratios,
+    batch_fully_mixed_candidate,
+    batch_is_mixed_nash,
+    normalize_rows,
+    random_game_batch,
+)
+from repro.generators.suites import poa_grid, small_verification_grid
+from repro.util.rng import stable_seed
+
+E7_GRID = list(small_verification_grid(replications=12))
+E10_GRID = list(poa_grid())
+LABEL = "bench-mixed"
+
+
+def batched_fmne_closed_form_sweep(grid, *, label=LABEL):
+    """The batched counterpart of ``seed_fmne_closed_form_sweep``."""
+    out = []
+    for cell in grid:
+        seeds = [
+            stable_seed(label, cell.num_users, cell.num_links, rep)
+            for rep in range(cell.replications)
+        ]
+        batch = GameBatch.from_seeds(seeds, cell.num_users, cell.num_links)
+        fm = batch_fully_mixed_candidate(batch.weights, batch.capacities)
+        idx = np.flatnonzero(fm.exists)
+        if idx.size == 0:
+            out.append((0, 0))
+            continue
+        nash = batch_is_mixed_nash(
+            normalize_rows(fm.probabilities[idx]),
+            batch.weights[idx],
+            batch.capacities[idx],
+            tol=1e-7,
+        )
+        out.append((int(idx.size), int(nash.sum())))
+    return out
+
+
+def _observation_dicts(observations):
+    return [
+        {
+            "n": o.num_users, "m": o.num_links,
+            "ratio_sc1": o.ratio_sc1, "ratio_sc2": o.ratio_sc2,
+            "bound": o.bound, "num_equilibria": o.num_equilibria,
+        }
+        for o in observations
+    ]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_mixed_speedup_at_least_5x(report):
+    """Acceptance gate: batched mixed+PoA pipeline >= 5x the seed loop."""
+    # The vendored seed pipeline must agree with the batched engine bit
+    # for bit, otherwise the timing comparison is meaningless.
+    assert batched_fmne_closed_form_sweep(E7_GRID) == seed_fmne_closed_form_sweep(
+        E7_GRID, label=LABEL
+    )
+    assert _observation_dicts(
+        poa_study(E10_GRID, uniform_beliefs=False, label=LABEL)
+    ) == seed_poa_study(E10_GRID, uniform_beliefs=False, label=LABEL)
+
+    def batched_pipeline():
+        batched_fmne_closed_form_sweep(E7_GRID)
+        poa_study(E10_GRID, uniform_beliefs=False, label=LABEL)
+
+    def looped_pipeline():
+        seed_fmne_closed_form_sweep(E7_GRID, label=LABEL)
+        seed_poa_study(E10_GRID, uniform_beliefs=False, label=LABEL)
+
+    batched = min(_timed(batched_pipeline) for _ in range(8))
+    looped = min(_timed(looped_pipeline) for _ in range(3))
+    ratio = looped / batched
+
+    fmne_b = min(_timed(lambda: batched_fmne_closed_form_sweep(E7_GRID)) for _ in range(8))
+    fmne_l = min(
+        _timed(lambda: seed_fmne_closed_form_sweep(E7_GRID, label=LABEL))
+        for _ in range(3)
+    )
+    poa_b = min(
+        _timed(lambda: poa_study(E10_GRID, uniform_beliefs=False, label=LABEL))
+        for _ in range(8)
+    )
+    poa_l = min(
+        _timed(lambda: seed_poa_study(E10_GRID, uniform_beliefs=False, label=LABEL))
+        for _ in range(3)
+    )
+    report.append(
+        f"[mixed] pipeline (E7 x12 + E10 x25 widths): batched "
+        f"{batched * 1e3:.2f} ms, seed loop {looped * 1e3:.2f} ms, "
+        f"speedup {ratio:.1f}x (PoA {poa_l / poa_b:.1f}x, closed-form FMNE "
+        f"{fmne_l / fmne_b:.1f}x over the per-instance RNG floor)"
+    )
+    assert ratio >= 5.0, f"batched mixed pipeline only {ratio:.2f}x faster"
+    assert poa_l / poa_b >= 5.0, f"batched PoA study only {poa_l / poa_b:.2f}x faster"
+
+
+def test_poa_study_batched(benchmark):
+    observations = benchmark(
+        lambda: poa_study(E10_GRID, uniform_beliefs=False, label=LABEL)
+    )
+    assert all(o.ratio_sc1 <= o.bound * (1 + 1e-9) for o in observations)
+
+
+def test_poa_study_looped(benchmark):
+    observations = benchmark(
+        lambda: seed_poa_study(E10_GRID, uniform_beliefs=False, label=LABEL)
+    )
+    assert all(o["ratio_sc1"] <= o["bound"] * (1 + 1e-9) for o in observations)
+
+
+@pytest.mark.parametrize("batch_size", [64, 1024, 8192])
+def test_batch_fully_mixed_candidate(benchmark, batch_size):
+    """Closed-form throughput per stack width (n=4, m=3)."""
+    batch = random_game_batch(batch_size, 4, 3, seed=11)
+    fm = benchmark(
+        lambda: batch_fully_mixed_candidate(batch.weights, batch.capacities)
+    )
+    assert fm.probabilities.shape == (batch_size, 4, 3)
+
+
+@pytest.mark.parametrize("batch_size", [64, 512])
+def test_batch_empirical_ratios(benchmark, batch_size):
+    """Full anarchy pipeline (NE sweep + optima + ratios) per width."""
+    batch = random_game_batch(batch_size, 4, 3, seed=12)
+    result = benchmark(lambda: batch_empirical_ratios(batch))
+    assert result.ratio_sc1.shape == (batch_size,)
+
+
+def test_from_seeds_uniform_beliefs_generation(benchmark):
+    """Seed-parity uniform-beliefs generation throughput (1000 games)."""
+    seeds = [stable_seed("bench-ub", i) for i in range(1000)]
+    batch = benchmark(lambda: GameBatch.from_seeds_uniform_beliefs(seeds, 4, 3))
+    assert len(batch) == 1000

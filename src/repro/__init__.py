@@ -94,6 +94,14 @@ from repro.batch import (
     batch_loads,
     batch_pure_latencies,
     batch_pure_nash_mask,
+    batch_empirical_ratios,
+    batch_fully_mixed_candidate,
+    batch_is_mixed_nash,
+    batch_min_expected_latencies,
+    batch_mixed_latency_matrix,
+    batch_poa_bound_general,
+    batch_poa_bound_uniform,
+    batch_social_optima,
     random_game_batch,
 )
 from repro.substrates import PlayerSpecificGame, kp_game
@@ -161,6 +169,14 @@ __all__ = [
     "batch_loads",
     "batch_pure_latencies",
     "batch_pure_nash_mask",
+    "batch_empirical_ratios",
+    "batch_fully_mixed_candidate",
+    "batch_is_mixed_nash",
+    "batch_min_expected_latencies",
+    "batch_mixed_latency_matrix",
+    "batch_poa_bound_general",
+    "batch_poa_bound_uniform",
+    "batch_social_optima",
     "random_game_batch",
     # substrates
     "PlayerSpecificGame",

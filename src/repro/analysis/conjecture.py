@@ -33,8 +33,7 @@ from repro.batch.container import GameBatch
 from repro.batch.dynamics import batch_best_response_dynamics
 from repro.batch.kernels import batch_count_pure_nash
 from repro.generators.suites import GridCell, conjecture_grid
-from repro.util.parallel import chunk_ranges, run_tasks
-from repro.util.rng import stable_seed
+from repro.util.parallel import ReplicationChunk, make_replication_chunks, run_tasks
 from repro.util.tables import Table
 
 __all__ = ["CellResult", "CampaignResult", "run_conjecture_campaign"]
@@ -100,29 +99,16 @@ class CampaignResult:
 
 
 @dataclass(frozen=True)
-class _CellChunk:
-    """A picklable unit of work: replications [rep_lo, rep_hi) of one cell."""
+class _CellChunk(ReplicationChunk):
+    """The shared replication chunk plus the campaign's generator knobs."""
 
-    label: str
-    num_users: int
-    num_links: int
-    rep_lo: int
-    rep_hi: int
     num_states: int
     concentration: float
 
 
 def _examine_chunk(chunk: _CellChunk) -> tuple[list[int], list[int], list[bool]]:
-    """(pure-NE counts, BRD steps, BRD converged) for one replication chunk.
-
-    Seeds are a pure function of (label, n, m, rep), never of the chunk
-    boundaries, so any chunking of a cell concatenates to the same
-    per-replication sequence.
-    """
-    seeds = [
-        stable_seed(chunk.label, chunk.num_users, chunk.num_links, rep)
-        for rep in range(chunk.rep_lo, chunk.rep_hi)
-    ]
+    """(pure-NE counts, BRD steps, BRD converged) for one replication chunk."""
+    seeds = chunk.seeds()
     batch = GameBatch.from_seeds(
         seeds,
         chunk.num_users,
@@ -164,22 +150,14 @@ def run_conjecture_campaign(
         depend on this value.
     """
     cells = list(grid) if grid is not None else list(conjecture_grid())
-    chunks: list[_CellChunk] = []
-    cell_of_chunk: list[int] = []
-    for cell_index, cell in enumerate(cells):
-        for lo, hi in chunk_ranges(cell.replications, batch_size):
-            chunks.append(
-                _CellChunk(
-                    label=label,
-                    num_users=cell.num_users,
-                    num_links=cell.num_links,
-                    rep_lo=lo,
-                    rep_hi=hi,
-                    num_states=num_states,
-                    concentration=concentration,
-                )
-            )
-            cell_of_chunk.append(cell_index)
+    chunks, cell_of_chunk = make_replication_chunks(
+        cells,
+        label,
+        batch_size,
+        factory=_CellChunk,
+        num_states=num_states,
+        concentration=concentration,
+    )
 
     chunk_results = run_tasks(_examine_chunk, chunks, jobs=jobs)
 

@@ -13,6 +13,19 @@ with ``cmax``/``cmin`` extremes of the effective capacities over all
 sweep random games, compute the *exact* worst equilibrium ratio (over all
 Nash equilibria found by enumeration, plus the fully mixed one when it
 exists), and verify the bounds dominate.
+
+Execution model: the single-game functions here are ``B = 1`` views of
+the batched kernels in :mod:`repro.batch.poa`; :func:`poa_study` stacks
+each grid cell's replications into a
+:class:`~repro.batch.container.GameBatch` and evaluates bounds, optima,
+equilibria and ratios for the whole stack at once. Chunks of
+replications (``batch_size``) can fan out over a process pool
+(``jobs``). Every replication's seed is derived independently via
+:func:`~repro.util.rng.stable_seed`, so the observations are
+bit-identical regardless of batching, chunking or worker count — and
+identical to examining each instance with the single-game APIs in a
+Python loop, which is exactly what this module did before the batched
+mixed engine existed (pinned by ``tests/data/mixed_seed_baseline.json``).
 """
 
 from __future__ import annotations
@@ -22,14 +35,20 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.model.game import UncertainRoutingGame
-from repro.model.profiles import MixedProfile, PureProfile, pure_to_mixed
-from repro.model.social import individual_costs, opt1, opt2
+from repro.batch.container import GameBatch
+from repro.batch.mixed import batch_min_expected_latencies
+from repro.batch.poa import (
+    batch_empirical_ratios,
+    batch_poa_bound_general,
+    batch_poa_bound_uniform,
+)
 from repro.equilibria.enumeration import pure_nash_profiles
 from repro.equilibria.fully_mixed import fully_mixed_candidate
-from repro.generators.games import random_game, random_uniform_beliefs_game
+from repro.model.game import UncertainRoutingGame
+from repro.model.profiles import MixedProfile, PureProfile, pure_to_mixed
+from repro.model.social import opt1, opt2
 from repro.generators.suites import GridCell
-from repro.util.rng import stable_seed
+from repro.util.parallel import ReplicationChunk, make_replication_chunks, run_tasks
 
 __all__ = [
     "poa_bound_uniform",
@@ -41,20 +60,19 @@ __all__ = [
 
 
 def poa_bound_uniform(game: UncertainRoutingGame) -> float:
-    """Theorem 4.13's upper bound (valid under uniform user beliefs)."""
-    caps = game.capacities
-    n, m = game.num_users, game.num_links
-    return float(caps.max() / caps.min()) * (m + n - 1) / m
+    """Theorem 4.13's upper bound (valid under uniform user beliefs).
+
+    The ``B = 1`` view of :func:`repro.batch.poa.batch_poa_bound_uniform`.
+    """
+    return float(batch_poa_bound_uniform(game.capacities))
 
 
 def poa_bound_general(game: UncertainRoutingGame) -> float:
-    """Theorem 4.14's upper bound (valid for every game)."""
-    caps = game.capacities
-    n, m = game.num_users, game.num_links
-    cmax = float(caps.max())
-    cmin = float(caps.min())
-    col_min_sum = float(caps.min(axis=0).sum())
-    return (cmax**2 / cmin) * (m + n - 1) / col_min_sum
+    """Theorem 4.14's upper bound (valid for every game).
+
+    The ``B = 1`` view of :func:`repro.batch.poa.batch_poa_bound_general`.
+    """
+    return float(batch_poa_bound_general(game.capacities))
 
 
 def empirical_coordination_ratios(
@@ -66,28 +84,48 @@ def empirical_coordination_ratios(
     When *equilibria* is omitted, all pure NE (exhaustive) are used and
     the fully mixed NE is appended when it exists — per Theorems 4.11/4.12
     the fully mixed point is the maximiser, so including it makes the
-    empirical ratio the true worst case whenever it exists.
+    empirical ratio the true worst case whenever it exists. That default
+    path is the ``B = 1`` view of
+    :func:`repro.batch.poa.batch_empirical_ratios` up to the exhaustive
+    optimum's 200k-profile cutover; beyond it the equilibria are
+    enumerated blockwise and the optima come from branch-and-bound,
+    exactly as before the batched engine (whole-stack evaluation of a
+    multi-million-profile sweep would trade the old bounded memory for
+    nothing — a single game has no batching to amortise).
     """
     if equilibria is None:
+        if game.num_links**game.num_users <= 200_000:
+            batch = GameBatch(
+                game.weights[None],
+                game.capacities[None],
+                initial_traffic=game.initial_traffic[None],
+            )
+            result = batch_empirical_ratios(batch)
+            if int(result.num_equilibria[0]) == 0:
+                raise ValueError("no equilibria supplied or found")
+            return float(result.ratio_sc1[0]), float(result.ratio_sc2[0])
         eqs: list[PureProfile | MixedProfile] = list(pure_nash_profiles(game))
         fm = fully_mixed_candidate(game)
         if fm.exists:
             eqs.append(fm.profile())
-    else:
-        eqs = list(equilibria)
+        equilibria = eqs
+    eqs = list(equilibria)
     if not eqs:
         raise ValueError("no equilibria supplied or found")
+    matrices = np.stack(
+        [
+            eq.matrix
+            if isinstance(eq, MixedProfile)
+            else pure_to_mixed(eq, game.num_users, game.num_links).matrix
+            for eq in eqs
+        ]
+    )
+    costs = batch_min_expected_latencies(
+        matrices, game.weights, game.capacities, game.initial_traffic
+    )  # (E, n)
     o1, o2 = opt1(game), opt2(game)
-    worst1 = worst2 = 0.0
-    for eq in eqs:
-        profile = (
-            eq if isinstance(eq, MixedProfile) else pure_to_mixed(
-                eq, game.num_users, game.num_links
-            )
-        )
-        costs = individual_costs(game, profile)
-        worst1 = max(worst1, float(costs.sum()) / o1)
-        worst2 = max(worst2, float(costs.max()) / o2)
+    worst1 = max(0.0, float((costs.sum(axis=1) / o1).max()))
+    worst2 = max(0.0, float((costs.max(axis=1) / o2).max()))
     return worst1, worst2
 
 
@@ -117,37 +155,76 @@ class PoAObservation:
         )
 
 
+@dataclass(frozen=True)
+class _PoAChunk(ReplicationChunk):
+    """The shared replication chunk plus the study's generator switch."""
+
+    uniform_beliefs: bool
+
+
+def _examine_poa_chunk(
+    chunk: _PoAChunk,
+) -> tuple[list[float], list[float], list[float], list[int]]:
+    """(bounds, SC1 ratios, SC2 ratios, equilibrium counts) for one chunk."""
+    seeds = chunk.seeds()
+    if chunk.uniform_beliefs:
+        batch = GameBatch.from_seeds_uniform_beliefs(
+            seeds, chunk.num_users, chunk.num_links
+        )
+        bounds = batch_poa_bound_uniform(batch.capacities)
+    else:
+        batch = GameBatch.from_seeds(seeds, chunk.num_users, chunk.num_links)
+        bounds = batch_poa_bound_general(batch.capacities)
+    ratios = batch_empirical_ratios(batch)
+    return (
+        bounds.tolist(),
+        ratios.ratio_sc1.tolist(),
+        ratios.ratio_sc2.tolist(),
+        ratios.num_equilibria.tolist(),
+    )
+
+
 def poa_study(
     grid: Sequence[GridCell],
     *,
     uniform_beliefs: bool,
     label: str = "poa",
+    jobs: int = 1,
+    batch_size: int | None = None,
 ) -> list[PoAObservation]:
     """Sweep random games and record empirical ratio vs theorem bound.
 
     With ``uniform_beliefs=True`` instances come from the uniform-beliefs
     generator and the Theorem 4.13 bound applies; otherwise general games
     and Theorem 4.14.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for the chunk fan-out; ``1`` (default) runs
+        inline, ``0`` uses every CPU.
+    batch_size:
+        Replications per :class:`GameBatch` chunk; ``None`` stacks each
+        cell's full replication axis into one batch. Results do not
+        depend on this value.
     """
+    cells = list(grid)
+    chunks, cell_of_chunk = make_replication_chunks(
+        cells,
+        label,
+        batch_size,
+        factory=_PoAChunk,
+        uniform_beliefs=uniform_beliefs,
+    )
+
+    chunk_results = run_tasks(_examine_poa_chunk, chunks, jobs=jobs)
+
     observations: list[PoAObservation] = []
-    for cell in grid:
-        for rep in range(cell.replications):
-            seed = stable_seed(label, cell.num_users, cell.num_links, rep)
-            if uniform_beliefs:
-                game = random_uniform_beliefs_game(
-                    cell.num_users, cell.num_links, seed=seed
-                )
-                bound = poa_bound_uniform(game)
-            else:
-                game = random_game(cell.num_users, cell.num_links, seed=seed)
-                bound = poa_bound_general(game)
-            eqs: list[PureProfile | MixedProfile] = list(pure_nash_profiles(game))
-            fm = fully_mixed_candidate(game)
-            if fm.exists:
-                eqs.append(fm.profile())
-            if not eqs:  # pragma: no cover - would refute Conjecture 3.7
+    for cell_index, result in zip(cell_of_chunk, chunk_results):
+        cell = cells[cell_index]
+        for bound, r1, r2, num_eqs in zip(*result):
+            if num_eqs == 0:  # pragma: no cover - would refute Conjecture 3.7
                 continue
-            r1, r2 = empirical_coordination_ratios(game, eqs)
             observations.append(
                 PoAObservation(
                     num_users=cell.num_users,
@@ -155,7 +232,7 @@ def poa_study(
                     ratio_sc1=r1,
                     ratio_sc2=r2,
                     bound=bound,
-                    num_equilibria=len(eqs),
+                    num_equilibria=num_eqs,
                 )
             )
     return observations

@@ -9,6 +9,11 @@ The subsystem behind the library's instance-parallel workloads:
   :mod:`repro.equilibria.enumeration` are their ``B = 1`` views;
 * :mod:`repro.batch.dynamics`    — lockstep best-/better-response
   dynamics with an active mask and per-game cycle detection;
+* :mod:`repro.batch.mixed`       — fully-mixed closed form (Lemmas
+  4.1-4.3), expected-latency and mixed-Nash kernels over stacks; the
+  single-game Section 4 APIs are their ``B = 1`` views;
+* :mod:`repro.batch.poa`         — batched Theorem 4.13/4.14 bounds,
+  exhaustive social optima and worst empirical coordination ratios;
 * :mod:`repro.batch.generator`   — one-pass vectorised instance drawing.
 """
 
@@ -27,6 +32,24 @@ from repro.batch.kernels import (
     batch_pure_latencies,
     batch_pure_nash_mask,
 )
+from repro.batch.mixed import (
+    BatchFullyMixedResult,
+    batch_fully_mixed_candidate,
+    batch_is_mixed_nash,
+    batch_min_expected_latencies,
+    batch_mixed_latency_matrix,
+    normalize_rows,
+)
+from repro.batch.poa import (
+    BatchRatioResult,
+    EquilibriumStack,
+    batch_all_pure_latencies,
+    batch_empirical_ratios,
+    batch_equilibrium_profiles,
+    batch_poa_bound_general,
+    batch_poa_bound_uniform,
+    batch_social_optima,
+)
 
 __all__ = [
     "GameBatch",
@@ -40,4 +63,18 @@ __all__ = [
     "batch_loads",
     "batch_pure_latencies",
     "batch_pure_nash_mask",
+    "BatchFullyMixedResult",
+    "batch_fully_mixed_candidate",
+    "batch_is_mixed_nash",
+    "batch_min_expected_latencies",
+    "batch_mixed_latency_matrix",
+    "normalize_rows",
+    "BatchRatioResult",
+    "EquilibriumStack",
+    "batch_all_pure_latencies",
+    "batch_empirical_ratios",
+    "batch_equilibrium_profiles",
+    "batch_poa_bound_general",
+    "batch_poa_bound_uniform",
+    "batch_social_optima",
 ]

@@ -168,6 +168,52 @@ class GameBatch:
             initial_traffic=traffic if with_initial_traffic else None,
         )
 
+    @classmethod
+    def from_seeds_uniform_beliefs(
+        cls,
+        seeds: Sequence[int],
+        num_users: int,
+        num_links: int,
+        *,
+        weight_kind: str = "uniform",
+        with_initial_traffic: bool = False,
+    ) -> "GameBatch":
+        """One uniform-beliefs game per seed, bit-identical to
+        ``random_uniform_beliefs_game(seed=s)``.
+
+        Replays the generator's RNG draws (weights, the per-user
+        capacity constants, optional initial traffic) in stream order
+        and stacks the replicated-column reduced forms; the E8/E10
+        campaigns rest on this parity exactly as E5 rests on
+        :meth:`from_seeds`.
+        """
+        from repro.generators.games import random_weights
+
+        if num_users < 2 or num_links < 2:
+            raise ModelError("the model requires n > 1 and m > 1")
+        seeds = list(seeds)
+        b = len(seeds)
+        weights = np.empty((b, num_users))
+        per_user = np.empty((b, num_users))
+        traffic = np.zeros((b, num_links))
+        for k, seed in enumerate(seeds):
+            rng = np.random.Generator(np.random.PCG64(seed))
+            weights[k] = random_weights(num_users, kind=weight_kind, seed=rng)
+            per_user[k] = rng.uniform(0.5, 4.0, size=num_users)
+            if with_initial_traffic:
+                traffic[k] = rng.uniform(0.0, 2.0, size=num_links)
+        caps = np.repeat(per_user[:, :, None], num_links, axis=2)
+        # The generator routes its capacity matrix through
+        # ``UncertainRoutingGame.from_capacities``, whose point-mass
+        # belief realisation reduces back to ``1 / (1 / c)`` — not an
+        # identity in floating point. Replay it for bit parity.
+        caps = 1.0 / (1.0 / caps)
+        return cls(
+            weights,
+            caps,
+            initial_traffic=traffic if with_initial_traffic else None,
+        )
+
     # ------------------------------------------------------------------ #
     # accessors
     # ------------------------------------------------------------------ #

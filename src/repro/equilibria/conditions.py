@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch.mixed import SUPPORT_ATOL, batch_is_mixed_nash
 from repro.model.game import UncertainRoutingGame
 from repro.model.latency import deviation_latencies, mixed_latency_matrix
 from repro.model.profiles import AssignmentLike, MixedLike, as_assignment, as_mixed_matrix
@@ -83,7 +84,7 @@ def mixed_regrets(game: UncertainRoutingGame, mixed: MixedLike) -> np.ndarray:
     p = as_mixed_matrix(mixed, game.num_users, game.num_links)
     lat = mixed_latency_matrix(game, p)
     minima = lat.min(axis=1)
-    support_worst = np.where(p > 1e-12, lat, -np.inf).max(axis=1)
+    support_worst = np.where(p > SUPPORT_ATOL, lat, -np.inf).max(axis=1)
     return np.maximum(support_worst - minima, 0.0)
 
 
@@ -93,13 +94,16 @@ def is_mixed_nash(
     *,
     tol: float = DEFAULT_TOL,
 ) -> bool:
-    """True when the support-optimality condition holds for every user."""
+    """True when the support-optimality condition holds for every user.
+
+    The ``B = 1`` view of :func:`repro.batch.mixed.batch_is_mixed_nash`.
+    """
     p = as_mixed_matrix(mixed, game.num_users, game.num_links)
-    lat = mixed_latency_matrix(game, p)
-    minima = lat.min(axis=1)
-    scale = np.maximum(minima, 1.0)
-    bad = (p > 1e-12) & (lat > (minima + tol * scale)[:, None])
-    return not bool(bad.any())
+    return bool(
+        batch_is_mixed_nash(
+            p, game.weights, game.capacities, game.initial_traffic, tol=tol
+        )
+    )
 
 
 def epsilon_of_profile(

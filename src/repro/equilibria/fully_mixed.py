@@ -21,6 +21,11 @@ Rows of the candidate automatically sum to one (Remark 4.4); the candidate
 is the unique fully mixed NE iff every entry lies strictly inside (0, 1)
 (Lemma 4.5 / Theorem 4.6). Under uniform beliefs the formula collapses to
 ``p^l_i = 1/m`` (Theorem 4.8) — a property test pins this down.
+
+Since the batched mixed engine landed, this module is the ``B = 1`` view
+of :func:`repro.batch.mixed.batch_fully_mixed_candidate`: the same
+kernel evaluates one game here and a ``(B, n, m)`` stack in the E7-E11
+experiment layer, bit for bit.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.batch.mixed import batch_fully_mixed_candidate
 from repro.errors import NotFullyMixedError
 from repro.model.game import UncertainRoutingGame
 from repro.model.profiles import MixedProfile
@@ -77,29 +83,22 @@ class FullyMixedResult:
 def fully_mixed_candidate(
     game: UncertainRoutingGame, *, boundary_tol: float = 1e-12
 ) -> FullyMixedResult:
-    """Evaluate the closed form of Lemmas 4.1-4.3 in O(nm)."""
-    n, m = game.num_users, game.num_links
-    w = game.weights
-    caps = game.capacities
-    t = game.initial_traffic
-    w_tot = game.total_traffic
-    t_tot = float(t.sum())
+    """Evaluate the closed form of Lemmas 4.1-4.3 in O(nm).
 
-    row_sums = caps.sum(axis=1)  # S_i
-    lam = ((m - 1) * w + w_tot + t_tot) / row_sums  # Lemma 4.1
-    link_traffic = (caps.T @ lam - w_tot - n * t) / (n - 1)  # Lemma 4.2
-    probs = (t[None, :] + link_traffic[None, :] + w[:, None] - caps * lam[:, None]) / w[
-        :, None
-    ]  # Lemma 4.3
-
-    interior = bool(
-        np.all(probs > boundary_tol) and np.all(probs < 1.0 - boundary_tol)
+    The ``B = 1`` view of the shared batched kernel — one code path
+    serves this single-game API and the stacked E7-E11 sweeps.
+    """
+    result = batch_fully_mixed_candidate(
+        game.weights,
+        game.capacities,
+        game.initial_traffic,
+        boundary_tol=boundary_tol,
     )
     return FullyMixedResult(
-        probabilities=probs,
-        latencies=lam,
-        link_traffic=link_traffic,
-        exists=interior,
+        probabilities=result.probabilities,
+        latencies=result.latencies,
+        link_traffic=result.link_traffic,
+        exists=bool(result.exists),
     )
 
 

@@ -28,12 +28,20 @@ def _poa_result(
     *,
     uniform_beliefs: bool,
     quick: bool,
+    jobs: int = 1,
+    batch_size: int | None = None,
 ) -> ExperimentResult:
     if quick:
         grid = [GridCell(n, m, 6) for (n, m) in [(3, 2), (4, 3), (5, 2)]]
     else:
         grid = list(poa_grid())
-    observations = poa_study(grid, uniform_beliefs=uniform_beliefs, label=experiment_id)
+    observations = poa_study(
+        grid,
+        uniform_beliefs=uniform_beliefs,
+        label=experiment_id,
+        jobs=jobs,
+        batch_size=batch_size,
+    )
     table = Table(
         ["n", "m", "worst SC1/OPT1", "worst SC2/OPT2", "bound", "holds"],
         title=f"{experiment_id} — empirical ratio vs theorem bound",
@@ -55,27 +63,45 @@ def _poa_result(
         title,
         passed=passed,
         tables=[table],
-        details={"observations": len(observations)},
+        details={
+            "observations": len(observations),
+            "observations_data": [
+                {
+                    "n": o.num_users, "m": o.num_links,
+                    "ratio_sc1": o.ratio_sc1, "ratio_sc2": o.ratio_sc2,
+                    "bound": o.bound, "num_equilibria": o.num_equilibria,
+                }
+                for o in observations
+            ],
+        },
     )
 
 
-def run_e10(*, quick: bool = False) -> ExperimentResult:
+def run_e10(
+    *, quick: bool = False, jobs: int = 1, batch_size: int | None = None
+) -> ExperimentResult:
     """E10 — Theorem 4.13 bound under uniform beliefs."""
     return _poa_result(
         "E10",
         "Theorem 4.13 — PoA bound, uniform user beliefs",
         uniform_beliefs=True,
         quick=quick,
+        jobs=jobs,
+        batch_size=batch_size,
     )
 
 
-def run_e11(*, quick: bool = False) -> ExperimentResult:
+def run_e11(
+    *, quick: bool = False, jobs: int = 1, batch_size: int | None = None
+) -> ExperimentResult:
     """E11 — Theorem 4.14 bound in the general case."""
     return _poa_result(
         "E11",
         "Theorem 4.14 — PoA bound, general case",
         uniform_beliefs=False,
         quick=quick,
+        jobs=jobs,
+        batch_size=batch_size,
     )
 
 

@@ -6,26 +6,88 @@
 * E8 — Theorem 4.8: uniform user beliefs force ``p^l_i = 1/m``.
 * E9 — Lemma 4.9 / Theorems 4.11-4.12: the fully mixed point dominates
   every equilibrium user-by-user, hence maximises SC1 and SC2.
+
+Execution model: each cell's replications are stacked into a
+:class:`~repro.batch.container.GameBatch` and the closed-form
+candidates, Nash verdicts and dominance comparisons are evaluated by
+the batched mixed kernels (:mod:`repro.batch.mixed`); only the support
+enumeration cross-checks remain per-game (their linear systems are
+support-shaped, not stackable). Chunks of replications (``batch_size``)
+can fan out over a process pool (``jobs``). Per-rep seeds come from
+:func:`~repro.util.rng.stable_seed`, so results are bit-identical
+regardless of batching, chunking or worker count — and identical to the
+pre-batch per-game loops, which ``tests/data/mixed_seed_baseline.json``
+pins.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.worst_case import verify_fmne_dominance
-from repro.equilibria.conditions import is_mixed_nash
-from repro.equilibria.fully_mixed import fully_mixed_candidate
+from repro.batch.container import GameBatch
+from repro.batch.mixed import (
+    batch_fully_mixed_candidate,
+    batch_is_mixed_nash,
+    batch_min_expected_latencies,
+    normalize_rows,
+)
 from repro.equilibria.support_enum import enumerate_mixed_nash
 from repro.experiments.base import ExperimentResult
-from repro.generators.games import random_game, random_uniform_beliefs_game
 from repro.generators.suites import GridCell, small_verification_grid
-from repro.util.rng import stable_seed
+from repro.util.parallel import ReplicationChunk, make_replication_chunks, run_tasks
 from repro.util.tables import Table
 
 __all__ = ["run_e7", "run_e8", "run_e9"]
 
 
-def run_e7(*, quick: bool = False) -> ExperimentResult:
+def _chunk_batch(chunk: ReplicationChunk, *, uniform_beliefs: bool = False) -> GameBatch:
+    """The chunk's instances, stacked (seeds independent of chunking)."""
+    seeds = chunk.seeds()
+    if uniform_beliefs:
+        return GameBatch.from_seeds_uniform_beliefs(
+            seeds, chunk.num_users, chunk.num_links
+        )
+    return GameBatch.from_seeds(seeds, chunk.num_users, chunk.num_links)
+
+
+def _examine_e7_chunk(chunk: ReplicationChunk) -> tuple[int, int, int]:
+    """(exists, closed form is NE, uniqueness verified) counts for a chunk.
+
+    The candidate evaluation and Nash verdicts run batched; the support
+    enumeration cross-check (exactly one fully mixed equilibrium, equal
+    to the closed form) stays per-game.
+    """
+    batch = _chunk_batch(chunk)
+    fm = batch_fully_mixed_candidate(
+        batch.weights, batch.capacities, batch.initial_traffic
+    )
+    interior = np.flatnonzero(fm.exists)
+    if interior.size == 0:
+        return 0, 0, 0
+    matrices = normalize_rows(fm.probabilities[interior])
+    nash = batch_is_mixed_nash(
+        matrices,
+        batch.weights[interior],
+        batch.capacities[interior],
+        batch.initial_traffic[interior],
+        tol=1e-7,
+    )
+    unique_ok = 0
+    for j, i in enumerate(interior):
+        game = batch.game(int(i))
+        fully_mixed = [
+            eq for eq in enumerate_mixed_nash(game) if eq.is_fully_mixed(atol=1e-9)
+        ]
+        if len(fully_mixed) == 1 and np.allclose(
+            fully_mixed[0].matrix, matrices[j], atol=1e-6
+        ):
+            unique_ok += 1
+    return int(interior.size), int(nash.sum()), unique_ok
+
+
+def run_e7(
+    *, quick: bool = False, jobs: int = 1, batch_size: int | None = None
+) -> ExperimentResult:
     """E7 — closed-form FMNE: Nash when interior, unique, O(nm)."""
     grid = list(small_verification_grid(replications=4 if quick else 12))
     table = Table(
@@ -33,32 +95,26 @@ def run_e7(*, quick: bool = False) -> ExperimentResult:
          "uniqueness verified"],
         title="E7 — Theorem 4.6: fully mixed NE closed form",
     )
+    chunks, cell_of_chunk = make_replication_chunks(grid, "E7", batch_size)
+    chunk_results = run_tasks(_examine_e7_chunk, chunks, jobs=jobs)
+    totals = [[0, 0, 0] for _ in grid]
+    for cell_index, (exists, nash_ok, unique_ok) in zip(cell_of_chunk, chunk_results):
+        totals[cell_index][0] += exists
+        totals[cell_index][1] += nash_ok
+        totals[cell_index][2] += unique_ok
+
     all_ok = True
-    for cell in grid:
-        exists = nash_ok = unique_ok = 0
-        for rep in range(cell.replications):
-            game = random_game(
-                cell.num_users, cell.num_links,
-                seed=stable_seed("E7", cell.num_users, cell.num_links, rep),
-            )
-            cand = fully_mixed_candidate(game)
-            if not cand.exists:
-                continue
-            exists += 1
-            profile = cand.profile()
-            if is_mixed_nash(game, profile, tol=1e-7):
-                nash_ok += 1
-            # Cross-check: support enumeration must find exactly one fully
-            # mixed equilibrium, and it must match the closed form.
-            fully_mixed = [
-                eq for eq in enumerate_mixed_nash(game) if eq.is_fully_mixed(atol=1e-9)
-            ]
-            if len(fully_mixed) == 1 and np.allclose(
-                fully_mixed[0].matrix, profile.matrix, atol=1e-6
-            ):
-                unique_ok += 1
+    cells = []
+    for cell, (exists, nash_ok, unique_ok) in zip(grid, totals):
         ok = nash_ok == exists and unique_ok == exists
         all_ok = all_ok and ok
+        cells.append(
+            {
+                "n": cell.num_users, "m": cell.num_links,
+                "reps": cell.replications, "exists": exists,
+                "nash_ok": nash_ok, "unique_ok": unique_ok,
+            }
+        )
         table.add_row(
             [cell.num_users, cell.num_links, cell.replications, exists,
              f"{nash_ok}/{exists}", f"{unique_ok}/{exists}"]
@@ -68,71 +124,124 @@ def run_e7(*, quick: bool = False) -> ExperimentResult:
         "Theorem 4.6 / Corollary 4.7 — FMNE closed form, uniqueness",
         passed=all_ok,
         tables=[table],
-        details={"all_ok": all_ok},
+        details={"all_ok": all_ok, "cells": cells},
     )
 
 
-def run_e8(*, quick: bool = False) -> ExperimentResult:
+def _examine_e8_chunk(chunk: ReplicationChunk) -> float:
+    """Worst ``|p - 1/m|`` over the chunk's uniform-beliefs instances."""
+    batch = _chunk_batch(chunk, uniform_beliefs=True)
+    fm = batch_fully_mixed_candidate(
+        batch.weights, batch.capacities, batch.initial_traffic
+    )
+    return float(np.abs(fm.probabilities - 1.0 / chunk.num_links).max())
+
+
+def run_e8(
+    *, quick: bool = False, jobs: int = 1, batch_size: int | None = None
+) -> ExperimentResult:
     """E8 — uniform beliefs give the equiprobable fully mixed NE."""
     reps = 20 if quick else 100
     cells = [(2, 2), (3, 3), (5, 4), (8, 6)]
+    grid = [GridCell(n, m, reps) for (n, m) in cells]
     table = Table(
         ["n", "m", "instances", "max |p - 1/m|"],
         title="E8 — Theorem 4.8: uniform beliefs => p = 1/m",
     )
+    chunks, cell_of_chunk = make_replication_chunks(grid, "E8", batch_size)
+    chunk_results = run_tasks(_examine_e8_chunk, chunks, jobs=jobs)
+    cell_worst = [0.0] * len(grid)
+    for cell_index, dev in zip(cell_of_chunk, chunk_results):
+        cell_worst[cell_index] = max(cell_worst[cell_index], dev)
+
     worst = 0.0
-    for n, m in cells:
-        cell_worst = 0.0
-        for rep in range(reps):
-            game = random_uniform_beliefs_game(n, m, seed=stable_seed("E8", n, m, rep))
-            cand = fully_mixed_candidate(game)
-            cell_worst = max(
-                cell_worst, float(np.abs(cand.probabilities - 1.0 / m).max())
-            )
-        worst = max(worst, cell_worst)
-        table.add_row([n, m, reps, cell_worst])
+    cell_rows = []
+    for (n, m), dev in zip(cells, cell_worst):
+        worst = max(worst, dev)
+        cell_rows.append({"n": n, "m": m, "reps": reps, "max_dev": dev})
+        table.add_row([n, m, reps, dev])
     passed = worst < 1e-9
     return ExperimentResult(
         "E8",
         "Theorem 4.8 — equiprobable FMNE under uniform beliefs",
         passed=passed,
         tables=[table],
-        details={"max_deviation": worst},
+        details={"max_deviation": worst, "cells": cell_rows},
     )
 
 
-def run_e9(*, quick: bool = False) -> ExperimentResult:
+def _examine_e9_chunk(chunk: ReplicationChunk) -> tuple[int, int]:
+    """(equilibria checked, dominance violations) for one chunk.
+
+    The reference latencies (Lemma 4.1) come from one batched
+    closed-form evaluation; each game's equilibria are enumerated by
+    support (per-game) and then compared against the reference in one
+    stacked kernel call per game. Violation counting mirrors
+    :func:`repro.analysis.worst_case.verify_fmne_dominance` — per-user
+    dominance per equilibrium, plus the SC1/SC2 maximality checks.
+    """
+    batch = _chunk_batch(chunk)
+    fm = batch_fully_mixed_candidate(
+        batch.weights, batch.capacities, batch.initial_traffic
+    )
+    eqs = violations = 0
+    for i in range(len(batch)):
+        equilibria = enumerate_mixed_nash(batch.game(i))
+        eqs += len(equilibria)
+        if not equilibria:
+            continue
+        reference = fm.latencies[i]
+        lat = batch_min_expected_latencies(
+            np.stack([eq.matrix for eq in equilibria]),
+            batch.weights[i],
+            batch.capacities[i],
+            batch.initial_traffic[i],
+        )  # (E, n)
+        excess = lat - reference
+        scale = np.maximum(np.abs(reference), 1.0)
+        violations += int(np.count_nonzero(excess > 1e-7 * scale))
+        # SC maximality follows from per-user dominance; check anyway.
+        if float(lat.sum(axis=1).max()) > float(reference.sum()) * (1 + 1e-7):
+            violations += 1
+        if float(lat.max(axis=1).max()) > float(reference.max()) * (1 + 1e-7):
+            violations += 1
+    return eqs, violations
+
+
+def run_e9(
+    *, quick: bool = False, jobs: int = 1, batch_size: int | None = None
+) -> ExperimentResult:
     """E9 — FMNE dominance: per-user latency and both social costs."""
     grid = list(small_verification_grid(replications=3 if quick else 8))
     table = Table(
         ["n", "m", "instances", "equilibria checked", "violations"],
         title="E9 — Lemma 4.9 / Thms 4.11-4.12: FMNE maximises social cost",
     )
+    chunks, cell_of_chunk = make_replication_chunks(grid, "E9", batch_size)
+    chunk_results = run_tasks(_examine_e9_chunk, chunks, jobs=jobs)
+    totals = [[0, 0] for _ in grid]
+    for cell_index, (chunk_eqs, chunk_violations) in zip(cell_of_chunk, chunk_results):
+        totals[cell_index][0] += chunk_eqs
+        totals[cell_index][1] += chunk_violations
+
     all_ok = True
     total_eqs = 0
-    for cell in grid:
-        eqs = violations = 0
-        for rep in range(cell.replications):
-            game = random_game(
-                cell.num_users, cell.num_links,
-                seed=stable_seed("E9", cell.num_users, cell.num_links, rep),
-            )
-            report = verify_fmne_dominance(game)
-            eqs += len(report.equilibria)
-            violations += len(report.violations)
-            # SC maximality follows from per-user dominance; check anyway.
-            if report.equilibria:
-                if max(report.sc1_values) > report.fmne_sc1() * (1 + 1e-7):
-                    violations += 1
-                if max(report.sc2_values) > report.fmne_sc2() * (1 + 1e-7):
-                    violations += 1
+    cells = []
+    for cell, (eqs, violations) in zip(grid, totals):
         all_ok = all_ok and violations == 0
         total_eqs += eqs
+        cells.append(
+            {
+                "n": cell.num_users, "m": cell.num_links,
+                "reps": cell.replications, "equilibria": eqs,
+                "violations": violations,
+            }
+        )
         table.add_row([cell.num_users, cell.num_links, cell.replications, eqs, violations])
     return ExperimentResult(
         "E9",
         "Lemma 4.9 — fully mixed NE dominates every equilibrium",
         passed=all_ok,
         tables=[table],
-        details={"total_equilibria": total_eqs, "all_ok": all_ok},
+        details={"total_equilibria": total_eqs, "all_ok": all_ok, "cells": cells},
     )

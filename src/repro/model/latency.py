@@ -28,6 +28,7 @@ from repro.batch.kernels import (
     batch_loads,
     batch_pure_latencies,
 )
+from repro.batch.mixed import batch_mixed_latency_matrix
 from repro.model.game import UncertainRoutingGame
 from repro.model.profiles import (
     AssignmentLike,
@@ -120,11 +121,14 @@ def mixed_latency_matrix(game: UncertainRoutingGame, mixed: MixedLike) -> np.nda
     ``W^l`` is the expected traffic of the *other* users plus user ``i``'s
     own contribution, so subtracting ``P[i, l] w_i`` removes the
     double-count of ``i``'s expected presence.
+
+    The ``B = 1`` view of :func:`repro.batch.mixed.batch_mixed_latency_matrix`
+    — the same kernel the batched E7-E11 pipelines call on stacks.
     """
     p = as_mixed_matrix(mixed, game.num_users, game.num_links)
-    w_link = p.T @ game.weights + game.initial_traffic  # (m,)
-    numer = (1.0 - p) * game.weights[:, None] + w_link[None, :]
-    return numer / game.capacities
+    return batch_mixed_latency_matrix(
+        p, game.weights, game.capacities, game.initial_traffic
+    )
 
 
 def expected_link_latencies(

@@ -35,7 +35,7 @@ import numpy as np
 from repro.errors import SolverError
 from repro.model.social import enumerate_assignments
 from repro.substrates.player_specific import PlayerSpecificGame
-from repro.util.rng import RandomState, as_generator
+from repro.util.rng import RandomState, as_generator, spawn_generators
 
 __all__ = [
     "WITNESS_WEIGHTS",
@@ -282,13 +282,17 @@ def multiplicative_pne_sweep(
     witness. Returning ``num_instances`` (all of them) reproduces the
     paper's point that Milchtaich's negative result does not transfer to
     the belief model.
+
+    Each instance draws from its own spawned child stream (the library's
+    per-rep seeding pattern), so instance ``k`` is reproducible in
+    isolation and independent of how many instances ran before it.
     """
-    rng = as_generator(seed)
+    streams = spawn_generators(seed, num_instances)
     w = np.asarray(weights, dtype=np.int64)
     total = int(w.sum())
     loads = np.arange(total + 1, dtype=np.float64)
     hits = 0
-    for _ in range(num_instances):
+    for rng in streams:
         caps = rng.uniform(0.25, 4.0, size=(w.size, num_links))
         tables = loads[None, None, :] / caps[:, :, None]
         game = PlayerSpecificGame(w, tables)

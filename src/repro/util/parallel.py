@@ -13,12 +13,82 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
 
-__all__ = ["chunk_ranges", "resolve_jobs", "run_tasks"]
+from repro.util.rng import stable_seed
+
+__all__ = [
+    "chunk_ranges",
+    "resolve_jobs",
+    "run_tasks",
+    "ReplicationChunk",
+    "make_replication_chunks",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class ReplicationChunk:
+    """A picklable unit of work: replications [rep_lo, rep_hi) of one
+    (n, m) grid cell.
+
+    The shared chunk shape of every batched campaign (E5's conjecture
+    sweep, the E7-E9 mixed experiments, the E10/E11 PoA studies);
+    campaign-specific knobs ride along on frozen subclasses.
+    """
+
+    label: str
+    num_users: int
+    num_links: int
+    rep_lo: int
+    rep_hi: int
+
+    def seeds(self) -> list[int]:
+        """Per-replication seeds — a pure function of (label, n, m, rep),
+        never of the chunk boundaries, so any chunking of a cell
+        concatenates to the same per-replication sequence."""
+        return [
+            stable_seed(self.label, self.num_users, self.num_links, rep)
+            for rep in range(self.rep_lo, self.rep_hi)
+        ]
+
+
+def make_replication_chunks(
+    cells: Sequence,
+    label: str,
+    batch_size: int | None,
+    *,
+    factory: Callable[..., ReplicationChunk] = ReplicationChunk,
+    **extra,
+) -> tuple[list[ReplicationChunk], list[int]]:
+    """Split every cell's replication axis into chunks.
+
+    *cells* are grid cells (``num_users``/``num_links``/``replications``
+    attributes); *extra* keywords are forwarded to *factory*. Returns
+    ``(chunks, cell_of_chunk)`` where ``cell_of_chunk[i]`` is the index
+    of the cell chunk ``i`` belongs to — chunks are emitted in cell
+    order, so per-cell results concatenate back in replication order
+    regardless of how a pool schedules them.
+    """
+    chunks: list[ReplicationChunk] = []
+    cell_of_chunk: list[int] = []
+    for cell_index, cell in enumerate(cells):
+        for lo, hi in chunk_ranges(cell.replications, batch_size):
+            chunks.append(
+                factory(
+                    label=label,
+                    num_users=cell.num_users,
+                    num_links=cell.num_links,
+                    rep_lo=lo,
+                    rep_hi=hi,
+                    **extra,
+                )
+            )
+            cell_of_chunk.append(cell_index)
+    return chunks, cell_of_chunk
 
 
 def chunk_ranges(total: int, chunk_size: int | None = None) -> list[tuple[int, int]]:

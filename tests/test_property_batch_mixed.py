@@ -1,0 +1,93 @@
+"""Property-based tests (hypothesis) for the batched mixed kernels.
+
+Pins the paper-level invariants of the closed form on randomly drawn
+game stacks:
+
+* Remark 4.4 — every candidate row sums to one, interior or not;
+* Theorem 4.8 — uniform-beliefs stacks collapse to ``p^l_i = 1/m``;
+* Theorem 4.6 — every interior candidate verifies as a mixed Nash
+  equilibrium, and agrees with the single-game closed form slice by
+  slice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import (
+    GameBatch,
+    batch_fully_mixed_candidate,
+    batch_is_mixed_nash,
+    normalize_rows,
+    random_game_batch,
+)
+from repro.equilibria.fully_mixed import fully_mixed_candidate
+
+
+@st.composite
+def batch_shapes(draw, max_b: int = 8, max_users: int = 6, max_links: int = 5):
+    b = draw(st.integers(1, max_b))
+    n = draw(st.integers(2, max_users))
+    m = draw(st.integers(2, max_links))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return b, n, m, seed
+
+
+class TestClosedFormProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(batch_shapes())
+    def test_rows_sum_to_one(self, shape):
+        """Remark 4.4: candidate rows are affine combinations summing to 1
+        by construction — whether or not they stay inside (0, 1)."""
+        b, n, m, seed = shape
+        batch = random_game_batch(b, n, m, seed=seed)
+        fm = batch_fully_mixed_candidate(batch.weights, batch.capacities)
+        sums = fm.probabilities.sum(axis=-1)
+        assert np.allclose(sums, 1.0, atol=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(batch_shapes())
+    def test_uniform_beliefs_collapse_to_equiprobable(self, shape):
+        """Theorem 4.8: under uniform beliefs the closed form is 1/m."""
+        b, n, m, seed = shape
+        seeds = [seed + i for i in range(b)]
+        batch = GameBatch.from_seeds_uniform_beliefs(seeds, n, m)
+        fm = batch_fully_mixed_candidate(batch.weights, batch.capacities)
+        assert np.abs(fm.probabilities - 1.0 / m).max() < 1e-9
+        assert fm.exists.all()
+
+    @settings(max_examples=60, deadline=None)
+    @given(batch_shapes())
+    def test_interior_candidates_are_mixed_nash(self, shape):
+        """Theorem 4.6: interiority certifies the candidate as the unique
+        fully mixed NE — so it must pass the Nash conditions."""
+        b, n, m, seed = shape
+        batch = random_game_batch(b, n, m, seed=seed)
+        fm = batch_fully_mixed_candidate(batch.weights, batch.capacities)
+        idx = np.flatnonzero(fm.exists)
+        if idx.size == 0:
+            return
+        verdict = batch_is_mixed_nash(
+            normalize_rows(fm.probabilities[idx]),
+            batch.weights[idx],
+            batch.capacities[idx],
+            tol=1e-7,
+        )
+        assert verdict.all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(batch_shapes(max_b=4))
+    def test_slices_match_single_game_bitwise(self, shape):
+        """Batching must never change a result: every slice equals the
+        single-game closed form exactly."""
+        b, n, m, seed = shape
+        batch = random_game_batch(b, n, m, with_initial_traffic=True, seed=seed)
+        fm = batch_fully_mixed_candidate(
+            batch.weights, batch.capacities, batch.initial_traffic
+        )
+        for i in range(b):
+            ref = fully_mixed_candidate(batch.game(i))
+            assert np.array_equal(fm.probabilities[i], ref.probabilities)
+            assert bool(fm.exists[i]) == ref.exists
