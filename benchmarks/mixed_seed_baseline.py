@@ -12,11 +12,13 @@ benchmarks/mixed_seed_baseline.py`` regenerates
 ``tests/data/mixed_seed_baseline.json`` — the frozen fingerprint the
 regression tests pin the batched E7-E11 runners against, bit for bit.
 
-Modules that this PR did *not* refactor (the pure-NE enumerator, the
-social optimum, support enumeration, the random-game generators) are
-imported from the library: they are byte-identical to what the seed
-pipeline called, so importing them keeps the baseline honest without
-duplicating unchanged code.
+Modules the batched-mixed PR did *not* refactor (the pure-NE
+enumerator, the social optimum, the random-game generators) are imported
+from the library: they are byte-identical to what the seed pipeline
+called, so importing them keeps the baseline honest without duplicating
+unchanged code. Support enumeration *was* later refactored onto the
+stacked ``(B, k, k)`` solver, so the fingerprints now call the vendored
+pre-batch copy in ``benchmarks/support_seed_baseline.py`` instead.
 """
 
 from __future__ import annotations
@@ -25,8 +27,9 @@ from typing import Sequence
 
 import numpy as np
 
+from support_seed_baseline import seed_enumerate_mixed_nash
+
 from repro.equilibria.enumeration import pure_nash_profiles
-from repro.equilibria.support_enum import enumerate_mixed_nash
 from repro.generators.games import random_game, random_uniform_beliefs_game
 from repro.generators.suites import GridCell
 from repro.model.game import UncertainRoutingGame
@@ -249,7 +252,7 @@ def seed_e7_cells(grid: Sequence[GridCell]) -> list[dict]:
             if seed_is_mixed_nash(game, matrix, tol=1e-7):
                 nash_ok += 1
             fully_mixed = [
-                eq for eq in enumerate_mixed_nash(game) if eq.is_fully_mixed(atol=1e-9)
+                eq for eq in seed_enumerate_mixed_nash(game) if eq.is_fully_mixed(atol=1e-9)
             ]
             if len(fully_mixed) == 1 and np.allclose(
                 fully_mixed[0].matrix, matrix, atol=1e-6
@@ -289,7 +292,7 @@ def seed_e9_cells(grid: Sequence[GridCell]) -> list[dict]:
                 seed=stable_seed("E9", cell.num_users, cell.num_links, rep),
             )
             _, reference, _, _ = seed_fully_mixed_candidate(game)
-            equilibria = enumerate_mixed_nash(game)
+            equilibria = seed_enumerate_mixed_nash(game)
             eqs += len(equilibria)
             sc1_values, sc2_values = [], []
             for eq in equilibria:

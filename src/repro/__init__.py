@@ -15,8 +15,12 @@ capacities, and implements everything the paper builds or cites:
 * the experiment harness (E1-E12) regenerating every checkable artefact;
 * the batched game engine (:mod:`repro.batch`) — B instances stacked
   into ``(B, n, m)`` tensors, with vectorised kernels, lockstep
-  best-response dynamics and a process-pool campaign layer; the
-  single-game APIs are its ``B = 1`` views.
+  best-response dynamics and stacked support enumeration; the
+  single-game APIs are its ``B = 1`` views;
+* the campaign runtime (:mod:`repro.runtime`) — declarative
+  :class:`~repro.runtime.spec.SweepSpec` campaigns, a chunked
+  process-pool scheduler, and an append-only JSONL result store with
+  checkpoint/resume.
 
 Quickstart::
 
@@ -102,8 +106,10 @@ from repro.batch import (
     batch_poa_bound_general,
     batch_poa_bound_uniform,
     batch_social_optima,
+    batch_enumerate_mixed_nash,
     random_game_batch,
 )
+from repro.runtime import ResultStore, SweepResult, SweepSpec, run_sweep
 from repro.substrates import PlayerSpecificGame, kp_game
 
 __version__ = "1.0.0"
@@ -177,7 +183,13 @@ __all__ = [
     "batch_poa_bound_general",
     "batch_poa_bound_uniform",
     "batch_social_optima",
+    "batch_enumerate_mixed_nash",
     "random_game_batch",
+    # campaign runtime
+    "ResultStore",
+    "SweepResult",
+    "SweepSpec",
+    "run_sweep",
     # substrates
     "PlayerSpecificGame",
     "kp_game",

@@ -14,29 +14,40 @@ library's use of dynamics as the general-case solver.
 Execution model: each grid cell's replications are stacked into a
 :class:`~repro.batch.container.GameBatch` and examined by the batched
 kernels — one sweep decides pure-NE existence for the whole stack, one
-lockstep run drives every instance's best-response dynamic. Chunks of
-replications (``batch_size``) can additionally fan out over a process
-pool (``jobs``). Every replication's instance and dynamics seed is
-derived independently via :func:`~repro.util.rng.stable_seed`, so the
-results are bit-identical regardless of batching, chunking or worker
-count — and identical to examining each instance with the single-game
-APIs in a Python loop, which is exactly what this module did before the
-batch engine existed.
+lockstep run drives every instance's best-response dynamic. The sweep
+itself is declared as a :class:`~repro.runtime.spec.SweepSpec`
+(:func:`conjecture_sweep_spec`) and executed by the shared campaign
+runtime (:func:`~repro.runtime.scheduler.run_sweep`): chunks of
+replications (``batch_size``) can fan out over a process pool
+(``jobs``), checkpoint to a result store and resume. Every
+replication's instance and dynamics seed is derived independently via
+:func:`~repro.util.rng.stable_seed`, so the results are bit-identical
+regardless of batching, chunking, worker count or resume — and
+identical to examining each instance with the single-game APIs in a
+Python loop, which is exactly what this module did before the batch
+engine existed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from pathlib import Path
+from typing import Sequence, Union
 
 from repro.batch.container import GameBatch
 from repro.batch.dynamics import batch_best_response_dynamics
 from repro.batch.kernels import batch_count_pure_nash
 from repro.generators.suites import GridCell, conjecture_grid
-from repro.util.parallel import ReplicationChunk, make_replication_chunks, run_tasks
+from repro.runtime import ResultStore, SweepSpec, run_sweep
+from repro.util.parallel import ReplicationChunk
 from repro.util.tables import Table
 
-__all__ = ["CellResult", "CampaignResult", "run_conjecture_campaign"]
+__all__ = [
+    "CellResult",
+    "CampaignResult",
+    "conjecture_sweep_spec",
+    "run_conjecture_campaign",
+]
 
 #: Step budget for the per-instance best-response dynamic.
 BRD_MAX_STEPS = 50_000
@@ -127,6 +138,24 @@ def _examine_chunk(chunk: _CellChunk) -> tuple[list[int], list[int], list[bool]]
     )
 
 
+def conjecture_sweep_spec(
+    cells: Sequence[GridCell],
+    *,
+    label: str = "E5",
+    num_states: int = 4,
+    concentration: float = 1.0,
+) -> SweepSpec:
+    """The campaign as a declarative spec for the shared runtime."""
+    return SweepSpec(
+        experiment=label,
+        label=label,
+        cells=tuple(cells),
+        kernel=_examine_chunk,
+        chunk_factory=_CellChunk,
+        chunk_extra={"num_states": num_states, "concentration": concentration},
+    )
+
+
 def run_conjecture_campaign(
     grid: Sequence[GridCell] | None = None,
     *,
@@ -135,6 +164,9 @@ def run_conjecture_campaign(
     label: str = "E5",
     jobs: int = 1,
     batch_size: int | None = None,
+    seed: int | None = None,
+    store: Union[ResultStore, str, Path, None] = None,
+    resume: bool = False,
 ) -> CampaignResult:
     """Run the campaign over *grid* (default: the published E5 grid).
 
@@ -148,25 +180,33 @@ def run_conjecture_campaign(
         cell's full replication axis into one batch. Smaller chunks
         trade kernel width for process-pool granularity. Results do not
         depend on this value.
+    seed:
+        Optional global seed override, folded into the seed label by
+        the runtime; ``None`` keeps the published baseline streams.
+    store / resume:
+        Chunk-level checkpointing — see
+        :func:`repro.runtime.scheduler.run_sweep`.
     """
     cells = list(grid) if grid is not None else list(conjecture_grid())
-    chunks, cell_of_chunk = make_replication_chunks(
-        cells,
-        label,
-        batch_size,
-        factory=_CellChunk,
-        num_states=num_states,
-        concentration=concentration,
+    spec = conjecture_sweep_spec(
+        cells, label=label, num_states=num_states, concentration=concentration
+    )
+    sweep = run_sweep(
+        spec,
+        jobs=jobs,
+        batch_size=batch_size,
+        seed=seed,
+        store=store,
+        resume=resume,
     )
 
-    chunk_results = run_tasks(_examine_chunk, chunks, jobs=jobs)
-
-    # One pass: chunks arrive in submission order, so each cell's
-    # replications concatenate back in rep order regardless of jobs.
+    # One pass: chunk payloads arrive in submission order, so each
+    # cell's replications concatenate back in rep order regardless of
+    # jobs (and regardless of which chunks were resumed from the store).
     counts_by_cell: list[list[int]] = [[] for _ in cells]
     steps_by_cell: list[list[int]] = [[] for _ in cells]
     converged_by_cell: list[bool] = [True] * len(cells)
-    for cell_index, result in zip(cell_of_chunk, chunk_results):
+    for cell_index, result in zip(sweep.cell_of_chunk, sweep.chunk_payloads):
         chunk_counts, chunk_steps, chunk_converged = result
         counts_by_cell[cell_index].extend(chunk_counts)
         steps_by_cell[cell_index].extend(chunk_steps)

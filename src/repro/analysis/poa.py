@@ -18,9 +18,12 @@ Execution model: the single-game functions here are ``B = 1`` views of
 the batched kernels in :mod:`repro.batch.poa`; :func:`poa_study` stacks
 each grid cell's replications into a
 :class:`~repro.batch.container.GameBatch` and evaluates bounds, optima,
-equilibria and ratios for the whole stack at once. Chunks of
-replications (``batch_size``) can fan out over a process pool
-(``jobs``). Every replication's seed is derived independently via
+equilibria and ratios for the whole stack at once. The sweep is
+declared as a :class:`~repro.runtime.spec.SweepSpec`
+(:func:`poa_sweep_spec`) and executed by the shared campaign runtime:
+chunks of replications (``batch_size``) can fan out over a process pool
+(``jobs``), checkpoint to a result store and resume. Every
+replication's seed is derived independently via
 :func:`~repro.util.rng.stable_seed`, so the observations are
 bit-identical regardless of batching, chunking or worker count — and
 identical to examining each instance with the single-game APIs in a
@@ -31,7 +34,8 @@ mixed engine existed (pinned by ``tests/data/mixed_seed_baseline.json``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from pathlib import Path
+from typing import Iterable, Sequence, Union
 
 import numpy as np
 
@@ -48,13 +52,15 @@ from repro.model.game import UncertainRoutingGame
 from repro.model.profiles import MixedProfile, PureProfile, pure_to_mixed
 from repro.model.social import opt1, opt2
 from repro.generators.suites import GridCell
-from repro.util.parallel import ReplicationChunk, make_replication_chunks, run_tasks
+from repro.runtime import ResultStore, SweepSpec, run_sweep
+from repro.util.parallel import ReplicationChunk
 
 __all__ = [
     "poa_bound_uniform",
     "poa_bound_general",
     "empirical_coordination_ratios",
     "PoAObservation",
+    "poa_sweep_spec",
     "poa_study",
 ]
 
@@ -184,6 +190,23 @@ def _examine_poa_chunk(
     )
 
 
+def poa_sweep_spec(
+    cells: Sequence[GridCell],
+    *,
+    uniform_beliefs: bool,
+    label: str = "poa",
+) -> SweepSpec:
+    """The PoA study as a declarative spec for the shared runtime."""
+    return SweepSpec(
+        experiment=label,
+        label=label,
+        cells=tuple(cells),
+        kernel=_examine_poa_chunk,
+        chunk_factory=_PoAChunk,
+        chunk_extra={"uniform_beliefs": uniform_beliefs},
+    )
+
+
 def poa_study(
     grid: Sequence[GridCell],
     *,
@@ -191,6 +214,9 @@ def poa_study(
     label: str = "poa",
     jobs: int = 1,
     batch_size: int | None = None,
+    seed: int | None = None,
+    store: Union[ResultStore, str, Path, None] = None,
+    resume: bool = False,
 ) -> list[PoAObservation]:
     """Sweep random games and record empirical ratio vs theorem bound.
 
@@ -207,20 +233,26 @@ def poa_study(
         Replications per :class:`GameBatch` chunk; ``None`` stacks each
         cell's full replication axis into one batch. Results do not
         depend on this value.
+    seed:
+        Optional global seed override folded into the seed label;
+        ``None`` keeps the published baseline streams.
+    store / resume:
+        Chunk-level checkpointing — see
+        :func:`repro.runtime.scheduler.run_sweep`.
     """
     cells = list(grid)
-    chunks, cell_of_chunk = make_replication_chunks(
-        cells,
-        label,
-        batch_size,
-        factory=_PoAChunk,
-        uniform_beliefs=uniform_beliefs,
+    spec = poa_sweep_spec(cells, uniform_beliefs=uniform_beliefs, label=label)
+    sweep = run_sweep(
+        spec,
+        jobs=jobs,
+        batch_size=batch_size,
+        seed=seed,
+        store=store,
+        resume=resume,
     )
 
-    chunk_results = run_tasks(_examine_poa_chunk, chunks, jobs=jobs)
-
     observations: list[PoAObservation] = []
-    for cell_index, result in zip(cell_of_chunk, chunk_results):
+    for cell_index, result in zip(sweep.cell_of_chunk, sweep.chunk_payloads):
         cell = cells[cell_index]
         for bound, r1, r2, num_eqs in zip(*result):
             if num_eqs == 0:  # pragma: no cover - would refute Conjecture 3.7

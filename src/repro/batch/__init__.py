@@ -14,6 +14,9 @@ The subsystem behind the library's instance-parallel workloads:
   single-game Section 4 APIs are their ``B = 1`` views;
 * :mod:`repro.batch.poa`         — batched Theorem 4.13/4.14 bounds,
   exhaustive social optima and worst empirical coordination ratios;
+* :mod:`repro.batch.support`     — stacked ``(B, k, k)`` support
+  enumeration; :mod:`repro.equilibria.support_enum` is its ``B = 1``
+  view;
 * :mod:`repro.batch.generator`   — one-pass vectorised instance drawing.
 """
 
@@ -39,6 +42,12 @@ from repro.batch.mixed import (
     batch_min_expected_latencies,
     batch_mixed_latency_matrix,
     normalize_rows,
+)
+from repro.batch.support import (
+    MAX_SUPPORT_PROFILES,
+    batch_enumerate_for,
+    batch_enumerate_mixed_nash,
+    support_profiles,
 )
 from repro.batch.poa import (
     BatchRatioResult,
@@ -69,6 +78,10 @@ __all__ = [
     "batch_min_expected_latencies",
     "batch_mixed_latency_matrix",
     "normalize_rows",
+    "MAX_SUPPORT_PROFILES",
+    "batch_enumerate_for",
+    "batch_enumerate_mixed_nash",
+    "support_profiles",
     "BatchRatioResult",
     "EquilibriumStack",
     "batch_all_pure_latencies",

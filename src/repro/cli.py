@@ -3,8 +3,15 @@
 Subcommands:
 
 * ``list``               — show the experiment registry;
-* ``run E5 [E7 ...]``    — run experiments by id (``all`` for everything);
-* ``--quick``            — reduced replication counts for smoke runs.
+* ``run E5 [E7 ...]``    — run experiments by id (``all`` for everything;
+  duplicates are collapsed, first occurrence wins);
+* ``report``             — run experiments and write EXPERIMENTS.md;
+* ``--quick``            — reduced replication counts for smoke runs;
+* ``--jobs/--batch-size``— process-pool fan-out for the campaign runtime;
+* ``--seed``             — global seed override threaded through the
+  runtime's seed policy (omit for the published baseline streams);
+* ``--store/--resume``   — append-only JSONL result store with
+  chunk-level checkpoint/resume.
 
 Output is the same ASCII tables EXPERIMENTS.md records, plus an overall
 verdict; the process exit code is non-zero when any experiment fails,
@@ -20,7 +27,7 @@ from typing import Sequence
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "expand_ids"]
 
 
 def _non_negative_int(text: str) -> int:
@@ -35,6 +42,69 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def expand_ids(ids: Sequence[str]) -> list[str]:
+    """Normalise a CLI id list: expand ``all``, uppercase, deduplicate.
+
+    ``all`` expands in place to the full registry; duplicates (including
+    case variants like ``e5``/``E5``, and ids repeated through ``all``)
+    collapse onto their first occurrence, so ``run E5 E5 all`` runs E5
+    once, first, followed by the remaining eleven experiments.
+    """
+    expanded: list[str] = []
+    for raw in ids:
+        if raw.lower() == "all":
+            expanded.extend(EXPERIMENTS)
+        else:
+            expanded.append(raw.upper())
+    seen: set[str] = set()
+    ordered: list[str] = []
+    for key in expanded:
+        if key not in seen:
+            seen.add(key)
+            ordered.append(key)
+    return ordered
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    """The campaign-runtime flags shared by ``run`` and ``report``."""
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced replication counts (smoke mode)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_non_negative_int,
+        default=1,
+        help="worker processes for batched campaigns (0 = all CPUs)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=None,
+        help="instances per GameBatch chunk (default: one batch per cell)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="global seed override folded into every experiment's seed "
+             "policy (default: the published baseline streams)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="append-only JSONL result store; every completed chunk is "
+             "checkpointed into it",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip chunks already present in --store (requires --store)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,25 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "ids",
         nargs="+",
-        help="experiment ids (E1..E12) or 'all'",
+        help="experiment ids (E1..E12) or 'all'; duplicates collapse",
     )
-    run_p.add_argument(
-        "--quick",
-        action="store_true",
-        help="reduced replication counts (smoke mode)",
-    )
-    run_p.add_argument(
-        "--jobs",
-        type=_non_negative_int,
-        default=1,
-        help="worker processes for batched campaigns (0 = all CPUs)",
-    )
-    run_p.add_argument(
-        "--batch-size",
-        type=_positive_int,
-        default=None,
-        help="instances per GameBatch chunk (default: one batch per cell)",
-    )
+    _add_runtime_flags(run_p)
 
     report_p = sub.add_parser(
         "report", help="run all experiments and write EXPERIMENTS.md"
@@ -80,47 +134,34 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default="EXPERIMENTS.md", help="output markdown path"
     )
     report_p.add_argument(
-        "--quick", action="store_true", help="reduced replication counts"
-    )
-    report_p.add_argument(
         "--ids", nargs="*", default=None, help="subset of experiment ids"
     )
-    report_p.add_argument(
-        "--jobs",
-        type=_non_negative_int,
-        default=1,
-        help="worker processes for batched campaigns (0 = all CPUs)",
-    )
-    report_p.add_argument(
-        "--batch-size",
-        type=_positive_int,
-        default=None,
-        help="instances per GameBatch chunk (default: one batch per cell)",
-    )
+    _add_runtime_flags(report_p)
     return parser
+
+
+def _runtime_options(args: argparse.Namespace) -> dict:
+    return {
+        "jobs": args.jobs,
+        "batch_size": args.batch_size,
+        "seed": args.seed,
+        "store": args.store,
+        "resume": args.resume,
+    }
 
 
 def _cmd_list() -> int:
     width = max(len(k) for k in EXPERIMENTS)
-    for key, (title, _) in EXPERIMENTS.items():
-        print(f"{key.ljust(width)}  {title}")
+    for key, entry in EXPERIMENTS.items():
+        print(f"{key.ljust(width)}  {entry.title}")
     return 0
 
 
-def _cmd_run(
-    ids: Sequence[str],
-    quick: bool,
-    jobs: int = 1,
-    batch_size: int | None = None,
-) -> int:
-    if any(x.lower() == "all" for x in ids):
-        ids = list(EXPERIMENTS)
+def _cmd_run(ids: Sequence[str], quick: bool, **options) -> int:
     failures = 0
-    for experiment_id in ids:
+    for experiment_id in expand_ids(ids):
         start = time.perf_counter()
-        result = run_experiment(
-            experiment_id, quick=quick, jobs=jobs, batch_size=batch_size
-        )
+        result = run_experiment(experiment_id, quick=quick, **options)
         elapsed = time.perf_counter() - start
         print(result.render())
         print(f"(elapsed: {elapsed:.2f}s)\n")
@@ -134,15 +175,13 @@ def _cmd_run(
 
 
 def _cmd_report(
-    output: str,
-    quick: bool,
-    ids: Sequence[str] | None,
-    jobs: int = 1,
-    batch_size: int | None = None,
+    output: str, quick: bool, ids: Sequence[str] | None, **options
 ) -> int:
     from repro.experiments.report import render_markdown, run_all
 
-    run = run_all(quick=quick, ids=ids, jobs=jobs, batch_size=batch_size)
+    if ids is not None:
+        ids = expand_ids(ids)
+    run = run_all(quick=quick, ids=ids, **options)
     text = render_markdown(run, quick=quick)
     with open(output, "w", encoding="utf-8") as fh:
         fh.write(text + "\n")
@@ -152,14 +191,17 @@ def _cmd_report(
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.resume and not args.store:
+        parser.error("--resume requires --store")
     if args.command == "run":
-        return _cmd_run(args.ids, args.quick, args.jobs, args.batch_size)
+        return _cmd_run(args.ids, args.quick, **_runtime_options(args))
     if args.command == "report":
         return _cmd_report(
-            args.output, args.quick, args.ids, args.jobs, args.batch_size
+            args.output, args.quick, args.ids, **_runtime_options(args)
         )
     raise AssertionError("unreachable")  # pragma: no cover
 

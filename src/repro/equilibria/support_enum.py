@@ -17,108 +17,26 @@ same number of unknowns ``(p^l_i for l in S_i, lambda_i)``.
 
 Complexity is ``(2^m - 1)^n`` supports — strictly a small-game tool, which
 is all the verification experiments need.
+
+Execution model: this module is the ``B = 1`` view of
+:func:`repro.batch.support.batch_enumerate_mixed_nash`, which assembles
+the indifference systems of whole support-profile blocks into stacked
+``(B, k, k)`` tensors and factorises them in single
+:func:`numpy.linalg.solve` calls; the campaign layer feeds it entire
+replication batches at once.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Iterator, Sequence
-
-import numpy as np
-
-from repro.errors import ModelError
+from repro.batch.support import (
+    MAX_SUPPORT_PROFILES,
+    batch_enumerate_mixed_nash,
+    support_profiles,
+)
 from repro.model.game import UncertainRoutingGame
 from repro.model.profiles import MixedProfile
-from repro.equilibria.conditions import is_mixed_nash
 
-__all__ = ["enumerate_mixed_nash", "support_profiles"]
-
-#: Refuse enumeration beyond this many support profiles.
-MAX_SUPPORT_PROFILES = 300_000
-
-
-def support_profiles(num_users: int, num_links: int) -> Iterator[tuple[tuple[int, ...], ...]]:
-    """Yield every support profile: one non-empty link subset per user."""
-    links = range(num_links)
-    subsets: list[tuple[int, ...]] = []
-    for size in range(1, num_links + 1):
-        subsets.extend(itertools.combinations(links, size))
-    yield from itertools.product(subsets, repeat=num_users)
-
-
-def _solve_support(
-    game: UncertainRoutingGame,
-    supports: Sequence[tuple[int, ...]],
-    *,
-    tol: float,
-) -> np.ndarray | None:
-    """Solve the indifference system for one support profile.
-
-    Returns the ``(n, m)`` probability matrix or ``None`` when the system
-    is inconsistent/singular or the solution leaves the simplex interior
-    required by the support.
-    """
-    n, m = game.num_users, game.num_links
-    w, caps, t = game.weights, game.capacities, game.initial_traffic
-
-    # Variable layout: p-variables first (per user, per support link), then
-    # the n lambda variables.
-    p_index: dict[tuple[int, int], int] = {}
-    for i, supp in enumerate(supports):
-        for link in supp:
-            p_index[(i, link)] = len(p_index)
-    num_p = len(p_index)
-    dim = num_p + n
-
-    rows = num_p + n
-    a = np.zeros((rows, dim))
-    rhs = np.zeros(rows)
-
-    r = 0
-    for i, supp in enumerate(supports):
-        for link in supp:
-            # w_i + t_l + sum_{k != i, l in S_k} w_k p^l_k - C[i,l] lambda_i = 0
-            for k, supp_k in enumerate(supports):
-                if k != i and link in supp_k:
-                    a[r, p_index[(k, link)]] += w[k]
-            a[r, num_p + i] = -caps[i, link]
-            rhs[r] = -(w[i] + t[link])
-            r += 1
-    for i, supp in enumerate(supports):
-        for link in supp:
-            a[r, p_index[(i, link)]] = 1.0
-        rhs[r] = 1.0
-        r += 1
-
-    try:
-        solution, residual, rank, _ = np.linalg.lstsq(a, rhs, rcond=None)
-    except np.linalg.LinAlgError:  # pragma: no cover - lstsq rarely raises
-        return None
-    if rank < dim:
-        # Degenerate support system: a continuum may exist; lstsq picks the
-        # min-norm representative, which the NE verifier will vet below.
-        pass
-    if not np.all(np.isfinite(solution)):
-        return None
-    if np.linalg.norm(a @ solution - rhs) > 1e-7 * max(1.0, np.linalg.norm(rhs)):
-        return None
-
-    probs = np.zeros((n, m))
-    for (i, link), idx in p_index.items():
-        probs[i, link] = solution[idx]
-    # Support semantics: strictly positive on support, zero elsewhere.
-    for i, supp in enumerate(supports):
-        row = probs[i]
-        if np.any(row[list(supp)] < tol):
-            return None
-        if np.any(row < -tol) or np.any(row > 1.0 + 1e-9):
-            return None
-    # Renormalise away the numerical slack before validation.
-    probs = np.clip(probs, 0.0, None)
-    sums = probs.sum(axis=1, keepdims=True)
-    if np.any(sums <= 0):
-        return None
-    return probs / sums
+__all__ = ["enumerate_mixed_nash", "support_profiles", "MAX_SUPPORT_PROFILES"]
 
 
 def enumerate_mixed_nash(
@@ -134,22 +52,15 @@ def enumerate_mixed_nash(
     optimality against off-support links included). Equilibria are
     deduplicated by rounding, so boundary solutions reachable from several
     supports appear once.
+
+    The ``B = 1`` view of
+    :func:`repro.batch.support.batch_enumerate_mixed_nash` (which also
+    raises the :data:`MAX_SUPPORT_PROFILES` guard).
     """
-    n, m = game.num_users, game.num_links
-    total = (2**m - 1) ** n
-    if total > MAX_SUPPORT_PROFILES:
-        raise ModelError(
-            f"{total} support profiles exceed the enumeration limit "
-            f"({MAX_SUPPORT_PROFILES})"
-        )
-    found: dict[bytes, MixedProfile] = {}
-    for supports in support_profiles(n, m):
-        probs = _solve_support(game, supports, tol=tol)
-        if probs is None:
-            continue
-        profile = MixedProfile(probs)
-        if not is_mixed_nash(game, profile, tol=1e-7):
-            continue
-        key = np.round(profile.matrix, dedupe_decimals).tobytes()
-        found.setdefault(key, profile)
-    return list(found.values())
+    return batch_enumerate_mixed_nash(
+        game.weights[None],
+        game.capacities[None],
+        game.initial_traffic[None],
+        tol=tol,
+        dedupe_decimals=dedupe_decimals,
+    )[0]

@@ -5,21 +5,52 @@
 * E11 — Theorem 4.14: the general bound likewise.
 * E12 — Section 1 + [17]: player-specific games admit no-PNE witnesses;
   multiplicative (our-model) instances sampled identically all have PNE.
+
+Execution model: E10/E11 run :func:`repro.analysis.poa.poa_study`'s
+spec through the shared campaign runtime; E12's multiplicative sweep is
+its own small spec (the witness verification and the exact constraint
+search are deterministic and run outside the sweep).
 """
 
 from __future__ import annotations
 
-from repro.analysis.poa import poa_study
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.poa import poa_study, poa_sweep_spec
 from repro.experiments.base import ExperimentResult
 from repro.generators.suites import GridCell, poa_grid
+from repro.runtime import ResultStore, SweepSpec, run_sweep
 from repro.substrates.milchtaich import (
     canonical_counterexample,
-    multiplicative_pne_sweep,
+    multiplicative_pne_hits,
     search_no_pne_instance,
 )
+from repro.util.parallel import ReplicationChunk
 from repro.util.tables import Table
 
-__all__ = ["run_e10", "run_e11", "run_e12"]
+__all__ = [
+    "run_e10", "run_e11", "run_e12",
+    "e10_specs", "e11_specs", "e12_specs",
+]
+
+
+def _poa_cells(quick: bool) -> tuple[GridCell, ...]:
+    if quick:
+        return tuple(GridCell(n, m, 6) for (n, m) in [(3, 2), (4, 3), (5, 2)])
+    return tuple(poa_grid())
+
+
+def e10_specs(*, quick: bool = False) -> tuple[SweepSpec, ...]:
+    return (
+        poa_sweep_spec(_poa_cells(quick), uniform_beliefs=True, label="E10"),
+    )
+
+
+def e11_specs(*, quick: bool = False) -> tuple[SweepSpec, ...]:
+    return (
+        poa_sweep_spec(_poa_cells(quick), uniform_beliefs=False, label="E11"),
+    )
 
 
 def _poa_result(
@@ -30,17 +61,19 @@ def _poa_result(
     quick: bool,
     jobs: int = 1,
     batch_size: int | None = None,
+    seed: int | None = None,
+    store: Union[ResultStore, str, Path, None] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
-    if quick:
-        grid = [GridCell(n, m, 6) for (n, m) in [(3, 2), (4, 3), (5, 2)]]
-    else:
-        grid = list(poa_grid())
     observations = poa_study(
-        grid,
+        _poa_cells(quick),
         uniform_beliefs=uniform_beliefs,
         label=experiment_id,
         jobs=jobs,
         batch_size=batch_size,
+        seed=seed,
+        store=store,
+        resume=resume,
     )
     table = Table(
         ["n", "m", "worst SC1/OPT1", "worst SC2/OPT2", "bound", "holds"],
@@ -78,7 +111,13 @@ def _poa_result(
 
 
 def run_e10(
-    *, quick: bool = False, jobs: int = 1, batch_size: int | None = None
+    *,
+    quick: bool = False,
+    jobs: int = 1,
+    batch_size: int | None = None,
+    seed: int | None = None,
+    store: Union[ResultStore, str, Path, None] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """E10 — Theorem 4.13 bound under uniform beliefs."""
     return _poa_result(
@@ -88,11 +127,20 @@ def run_e10(
         quick=quick,
         jobs=jobs,
         batch_size=batch_size,
+        seed=seed,
+        store=store,
+        resume=resume,
     )
 
 
 def run_e11(
-    *, quick: bool = False, jobs: int = 1, batch_size: int | None = None
+    *,
+    quick: bool = False,
+    jobs: int = 1,
+    batch_size: int | None = None,
+    seed: int | None = None,
+    store: Union[ResultStore, str, Path, None] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """E11 — Theorem 4.14 bound in the general case."""
     return _poa_result(
@@ -102,10 +150,35 @@ def run_e11(
         quick=quick,
         jobs=jobs,
         batch_size=batch_size,
+        seed=seed,
+        store=store,
+        resume=resume,
     )
 
 
-def run_e12(*, quick: bool = False) -> ExperimentResult:
+def _examine_e12_chunk(chunk: ReplicationChunk) -> int:
+    """Multiplicative instances with a pure NE among the chunk's seeds."""
+    return multiplicative_pne_hits(chunk.seeds(), num_links=chunk.num_links)
+
+
+def e12_specs(*, quick: bool = False) -> tuple[SweepSpec, ...]:
+    """E12's declarative sweep: the multiplicative-contrast sample.
+
+    One ``(3, 3)`` cell — the witness's three users and three links.
+    """
+    reps = 50 if quick else 300
+    return (SweepSpec("E12", "E12", (GridCell(3, 3, reps),), _examine_e12_chunk),)
+
+
+def run_e12(
+    *,
+    quick: bool = False,
+    jobs: int = 1,
+    batch_size: int | None = None,
+    seed: int | None = None,
+    store: Union[ResultStore, str, Path, None] = None,
+    resume: bool = False,
+) -> ExperimentResult:
     """E12 — Milchtaich separation: no-PNE witness vs multiplicative sweep."""
     report = canonical_counterexample()
     witness_ok = report.verify()
@@ -119,8 +192,13 @@ def run_e12(*, quick: bool = False) -> ExperimentResult:
             searched_tries = searched.tries
         except Exception:
             searched_tries = -1  # budget ran out; canonical witness suffices
-    sweep_n = 50 if quick else 300
-    hits = multiplicative_pne_sweep(num_instances=sweep_n, seed=7)
+    (spec,) = e12_specs(quick=quick)
+    sweep = run_sweep(
+        spec, jobs=jobs, batch_size=batch_size, seed=seed, store=store,
+        resume=resume,
+    )
+    sweep_n = spec.cells[0].replications
+    hits = sum(sweep.chunk_payloads)
     table = Table(["check", "result"], title="E12 — player-specific separation")
     table.add_row(["stored witness verified (27 profiles, none NE)", witness_ok])
     if searched_tries is not None:

@@ -7,39 +7,81 @@
   observation) and two-player four-cycles have non-zero cost sums (no
   exact potential); by contrast, common-beliefs instances carry an exact
   weighted potential.
+
+Execution model: E5 delegates to
+:func:`repro.analysis.conjecture.run_conjecture_campaign`, which runs
+its spec through the shared campaign runtime; E6 declares three small
+sweeps of its own (the exact-potential gap sample, the weighted- and
+the ordinal-potential identity checks), each with a distinct seed label
+so their store keys and streams cannot collide. The cycle realisability
+search is an exact, unseeded computation and runs outside the sweeps.
 """
 
 from __future__ import annotations
 
-from repro.analysis.conjecture import run_conjecture_campaign
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.conjecture import (
+    conjecture_sweep_spec,
+    run_conjecture_campaign,
+)
+from repro.analysis.cycles import search_improvement_cycle_instance
 from repro.equilibria.potential import (
     exact_potential_cycle_gap,
+    verify_ordinal_potential_symmetric,
     verify_weighted_potential,
 )
 from repro.experiments.base import ExperimentResult
-from repro.generators.games import random_game, random_kp_game
-from repro.generators.suites import GridCell, conjecture_grid, quick_conjecture_grid
+from repro.generators.games import (
+    random_game,
+    random_kp_game,
+    random_symmetric_game,
+)
+from repro.generators.suites import (
+    GridCell,
+    conjecture_grid,
+    quick_conjecture_grid,
+)
+from repro.runtime import ResultStore, SweepSpec, run_sweep
+from repro.util.parallel import ReplicationChunk
 from repro.util.rng import as_generator, stable_seed
 from repro.util.tables import Table
 
-__all__ = ["run_e5", "run_e6"]
+__all__ = ["run_e5", "run_e6", "e5_specs", "e6_specs"]
+
+
+def e5_specs(*, quick: bool = False) -> tuple[SweepSpec, ...]:
+    """E5's declarative sweep: the published conjecture grid."""
+    grid = quick_conjecture_grid() if quick else conjecture_grid()
+    return (conjecture_sweep_spec(tuple(grid), label="E5"),)
 
 
 def run_e5(
-    *, quick: bool = False, jobs: int = 1, batch_size: int | None = None
+    *,
+    quick: bool = False,
+    jobs: int = 1,
+    batch_size: int | None = None,
+    seed: int | None = None,
+    store: Union[ResultStore, str, Path, None] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """E5 — Conjecture 3.7 simulation campaign.
 
-    Runs on the batched game engine: each cell's instances are stacked
-    into one :class:`~repro.batch.container.GameBatch`; *jobs* and
-    *batch_size* control the process-pool fan-out (results are identical
-    for every setting).
+    Runs on the shared campaign runtime: each cell's instances are
+    stacked into one :class:`~repro.batch.container.GameBatch`; *jobs*
+    and *batch_size* control the process-pool fan-out, *store*/*resume*
+    the chunk-level checkpointing (results are identical for every
+    setting).
     """
     if quick:
         grid = list(quick_conjecture_grid())
     else:
         grid = list(conjecture_grid())
-    campaign = run_conjecture_campaign(grid, jobs=jobs, batch_size=batch_size)
+    campaign = run_conjecture_campaign(
+        grid, jobs=jobs, batch_size=batch_size, seed=seed, store=store,
+        resume=resume,
+    )
     return ExperimentResult(
         "E5",
         "Section 3.2 / Conjecture 3.7 — pure NE existence campaign",
@@ -52,7 +94,70 @@ def run_e5(
     )
 
 
-def run_e6(*, quick: bool = False) -> ExperimentResult:
+def _probe_move(chunk: ReplicationChunk, game, seed: int):
+    """A reproducible (profile, user, new link) probe for one instance.
+
+    The probe stream is derived from the chunk label and the instance
+    seed, so every replication is reproducible in isolation — no draw
+    depends on loop ordering or on how many replications ran before it.
+    """
+    draw = as_generator(stable_seed(chunk.label, "probe", seed))
+    sigma = draw.integers(0, game.num_links, size=game.num_users)
+    user = int(draw.integers(game.num_users))
+    new_link = int(draw.integers(game.num_links))
+    return sigma, user, new_link
+
+
+def _examine_e6_gap_chunk(chunk: ReplicationChunk) -> list[float]:
+    """Exact-potential 4-cycle gaps for the chunk's general games."""
+    gaps = []
+    for seed in chunk.seeds():
+        game = random_game(chunk.num_users, chunk.num_links, seed=seed)
+        gaps.append(
+            float(exact_potential_cycle_gap(game, num_samples=200, seed=seed))
+        )
+    return gaps
+
+
+def _examine_e6_kp_chunk(chunk: ReplicationChunk) -> bool:
+    """Weighted-potential identity verdict over the chunk's KP games."""
+    ok = True
+    for seed in chunk.seeds():
+        game = random_kp_game(chunk.num_users, chunk.num_links, seed=seed)
+        sigma, user, new_link = _probe_move(chunk, game, seed)
+        ok = ok and verify_weighted_potential(game, sigma, user, new_link)
+    return bool(ok)
+
+
+def _examine_e6_sym_chunk(chunk: ReplicationChunk) -> bool:
+    """Ordinal-potential identity verdict over the chunk's symmetric games."""
+    ok = True
+    for seed in chunk.seeds():
+        game = random_symmetric_game(chunk.num_users, chunk.num_links, seed=seed)
+        sigma, user, new_link = _probe_move(chunk, game, seed)
+        ok = ok and verify_ordinal_potential_symmetric(game, sigma, user, new_link)
+    return bool(ok)
+
+
+def e6_specs(*, quick: bool = False) -> tuple[SweepSpec, ...]:
+    """E6's three sub-sweeps (distinct labels: distinct streams and keys)."""
+    reps = 5 if quick else 25
+    return (
+        SweepSpec("E6", "E6-gap", (GridCell(3, 3, reps),), _examine_e6_gap_chunk),
+        SweepSpec("E6", "E6-kp", (GridCell(4, 3, reps),), _examine_e6_kp_chunk),
+        SweepSpec("E6", "E6-sym", (GridCell(4, 3, reps),), _examine_e6_sym_chunk),
+    )
+
+
+def run_e6(
+    *,
+    quick: bool = False,
+    jobs: int = 1,
+    batch_size: int | None = None,
+    seed: int | None = None,
+    store: Union[ResultStore, str, Path, None] = None,
+    resume: bool = False,
+) -> ExperimentResult:
     """E6 — potential-function structure.
 
     Reproduces three facts around Section 3.2:
@@ -71,41 +176,17 @@ def run_e6(*, quick: bool = False) -> ExperimentResult:
     the outcome is reported as data, not a pass/fail criterion, because
     the paper's cycle instance [19] is unpublished.
     """
-    from repro.analysis.cycles import search_improvement_cycle_instance
-    from repro.equilibria.potential import verify_ordinal_potential_symmetric
-    from repro.generators.games import random_symmetric_game
-
-    # Exact-potential 4-cycle sums: general games should violate, KP games
-    # (common beliefs) must satisfy the weighted identity instead.
-    gaps = []
-    for rep in range(5 if quick else 25):
-        game = random_game(3, 3, seed=stable_seed("E6-gap", rep))
-        gaps.append(exact_potential_cycle_gap(game, num_samples=200, seed=rep))
+    gap_spec, kp_spec, sym_spec = e6_specs(quick=quick)
+    options = dict(
+        jobs=jobs, batch_size=batch_size, seed=seed, store=store, resume=resume
+    )
+    gaps = [
+        g for payload in run_sweep(gap_spec, **options).chunk_payloads
+        for g in payload
+    ]
     max_gap = max(gaps)
-
-    # Each check draws its probe move from a stream derived from its own
-    # (label, rep) seed: no draw depends on loop ordering or on how many
-    # replications another check ran, so every rep is reproducible in
-    # isolation.
-    kp_ok = True
-    for rep in range(5 if quick else 25):
-        game = random_kp_game(4, 3, seed=stable_seed("E6-kp", rep))
-        draw = as_generator(stable_seed("E6-kp-move", rep))
-        sigma = draw.integers(0, game.num_links, size=game.num_users)
-        user = int(draw.integers(game.num_users))
-        new_link = int(draw.integers(game.num_links))
-        kp_ok = kp_ok and verify_weighted_potential(game, sigma, user, new_link)
-
-    sym_ok = True
-    for rep in range(5 if quick else 25):
-        game = random_symmetric_game(4, 3, seed=stable_seed("E6-sym", rep))
-        draw = as_generator(stable_seed("E6-sym-move", rep))
-        sigma = draw.integers(0, game.num_links, size=game.num_users)
-        user = int(draw.integers(game.num_users))
-        new_link = int(draw.integers(game.num_links))
-        sym_ok = sym_ok and verify_ordinal_potential_symmetric(
-            game, sigma, user, new_link
-        )
+    kp_ok = all(run_sweep(kp_spec, **options).chunk_payloads)
+    sym_ok = all(run_sweep(sym_spec, **options).chunk_payloads)
 
     search = search_improvement_cycle_instance(
         max_cycle_length=4 if quick else 6,

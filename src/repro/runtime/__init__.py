@@ -1,0 +1,31 @@
+"""Unified campaign runtime — declarative sweeps, checkpoint/resume.
+
+The shared execution machinery behind every experiment campaign:
+
+* :class:`~repro.runtime.spec.SweepSpec`           — a declarative
+  campaign description (cell grid x replications, per-chunk kernel,
+  seed policy);
+* :class:`~repro.runtime.store.ResultStore`        — an append-only
+  JSONL store keyed by ``(experiment, label, n, m, rep_lo, rep_hi)``;
+* :func:`~repro.runtime.scheduler.run_sweep`       — the chunked
+  scheduler layered on :mod:`repro.util.parallel`, with checkpoint
+  writes per completed chunk and resume that skips stored chunks while
+  reproducing a byte-identical store.
+
+Every ``run_e1`` ... ``run_e12`` declares a spec plus a kernel and
+delegates execution here; the CLI's ``--jobs``/``--batch-size``/
+``--seed``/``--store``/``--resume`` flags all terminate in
+:func:`run_sweep`'s keyword arguments.
+"""
+
+from repro.runtime.scheduler import SweepResult, run_sweep
+from repro.runtime.spec import SweepSpec
+from repro.runtime.store import ResultStore, canonical_payload
+
+__all__ = [
+    "SweepSpec",
+    "SweepResult",
+    "ResultStore",
+    "canonical_payload",
+    "run_sweep",
+]

@@ -1,0 +1,147 @@
+"""Append-only JSONL result store with chunk-level checkpoint keys.
+
+One line per completed chunk:
+
+.. code-block:: json
+
+    {"experiment": "E5", "label": "E5", "n": 3, "m": 3,
+     "rep_lo": 0, "rep_hi": 40, "payload": ...}
+
+The key ``(experiment, label, n, m, rep_lo, rep_hi)`` identifies a chunk
+across runs: seeds are a pure function of ``(label, n, m, rep)`` and
+chunk boundaries a pure function of the grid and ``batch_size``, so a
+resumed run regenerates exactly the keys of the interrupted one and can
+skip every chunk already on disk. Lines are appended one per completed
+chunk, in canonical chunk order (the scheduler consumes pool results in
+submission order), so a killed run leaves a *prefix* of the canonical
+line sequence — resuming appends the missing suffix and the final file
+is byte-identical to an uninterrupted run with the same flags.
+
+Payloads are canonicalised through one JSON round trip before they are
+aggregated or written (tuples become lists, NaN is rejected), so fresh
+and resumed runs aggregate exactly the same objects. JSON floats use
+``repr`` shortest round-trip formatting, which is lossless for float64 —
+bit-identical results serialise to identical lines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+__all__ = ["ResultStore", "StoreKey", "canonical_payload"]
+
+#: (experiment, label, n, m, rep_lo, rep_hi)
+StoreKey = tuple[str, str, int, int, int, int]
+
+
+def canonical_payload(payload: Any) -> Any:
+    """One JSON round trip: the form payloads take when read back.
+
+    Applied to freshly computed payloads too, so aggregation cannot
+    distinguish a computed chunk from a resumed one (tuple vs list,
+    int-keyed dicts, numpy scalars that slipped through, ...).
+    """
+    return json.loads(json.dumps(payload, allow_nan=False))
+
+
+class ResultStore:
+    """An append-only JSONL file of per-chunk campaign results."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    @classmethod
+    def coerce(
+        cls, store: "Union[ResultStore, str, Path, None]"
+    ) -> "ResultStore | None":
+        """Normalise a runner's ``store`` argument (path-like or None)."""
+        if store is None or isinstance(store, ResultStore):
+            return store
+        return cls(store)
+
+    @staticmethod
+    def record_key(record: dict[str, Any]) -> StoreKey:
+        return (
+            record["experiment"],
+            record["label"],
+            int(record["n"]),
+            int(record["m"]),
+            int(record["rep_lo"]),
+            int(record["rep_hi"]),
+        )
+
+    def load_payloads(self) -> dict[StoreKey, Any]:
+        """All stored payloads keyed by chunk; later lines win.
+
+        Missing file means an empty store (a fresh ``--resume`` run is
+        just a fresh run). Truncated trailing lines — the signature of a
+        kill mid-write — are ignored, so a damaged tail never blocks a
+        resume; the chunk is simply recomputed and re-appended.
+        """
+        payloads: dict[StoreKey, Any] = {}
+        if not self.path.exists():
+            return payloads
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = self.record_key(record)
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    continue
+                payloads[key] = record["payload"]
+        return payloads
+
+    def _repair_tail(self) -> None:
+        """Heal a kill-truncated final line before appending.
+
+        A run killed mid-write leaves a final line without a trailing
+        newline. Appending straight after it would glue the new record
+        onto the fragment, making *both* unparseable forever. If the
+        unterminated tail is itself a valid record (the kill landed
+        between write and newline), terminate it so the record is kept;
+        otherwise drop the fragment so the chunk's recomputed record
+        lands on a clean line — which also restores the byte-identity of
+        a resumed store with an uninterrupted run.
+        """
+        try:
+            fh = self.path.open("r+b")
+        except FileNotFoundError:
+            return
+        with fh:
+            fh.seek(0, 2)
+            size = fh.tell()
+            if size == 0:
+                return
+            fh.seek(size - 1)
+            if fh.read(1) == b"\n":  # healthy tail: the common O(1) path
+                return
+            fh.seek(0)
+            data = fh.read()
+            newline_at = data.rfind(b"\n")
+            tail = data[newline_at + 1:]
+            try:
+                self.record_key(json.loads(tail.decode("utf-8")))
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    UnicodeDecodeError, ValueError):
+                fh.truncate(newline_at + 1 if newline_at >= 0 else 0)
+            else:
+                fh.write(b"\n")
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Append one chunk record (creates parent directories lazily)."""
+        self.record_key(record)  # validate shape before touching disk
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._repair_tail()
+        line = json.dumps(record, sort_keys=True, allow_nan=False)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.path)!r})"

@@ -44,6 +44,7 @@ __all__ = [
     "search_no_pne_instance",
     "canonical_counterexample",
     "multiplicative_pne_sweep",
+    "multiplicative_pne_hits",
 ]
 
 #: Weights of the stored no-PNE witness.
@@ -293,6 +294,34 @@ def multiplicative_pne_sweep(
     loads = np.arange(total + 1, dtype=np.float64)
     hits = 0
     for rng in streams:
+        caps = rng.uniform(0.25, 4.0, size=(w.size, num_links))
+        tables = loads[None, None, :] / caps[:, :, None]
+        game = PlayerSpecificGame(w, tables)
+        if game.exists_pure_nash():
+            hits += 1
+    return hits
+
+
+def multiplicative_pne_hits(
+    seeds,
+    *,
+    weights: tuple[int, ...] = WITNESS_WEIGHTS,
+    num_links: int = 3,
+) -> int:
+    """Count multiplicative instances with a pure NE, one per seed.
+
+    The campaign-runtime form of :func:`multiplicative_pne_sweep`: the
+    caller supplies one independent stream seed per instance (the E12
+    kernel passes its chunk's :func:`~repro.util.rng.stable_seed`
+    values), so the sweep can be chunked, parallelised and resumed
+    without a shared parent stream.
+    """
+    w = np.asarray(weights, dtype=np.int64)
+    total = int(w.sum())
+    loads = np.arange(total + 1, dtype=np.float64)
+    hits = 0
+    for seed in seeds:
+        rng = as_generator(int(seed))
         caps = rng.uniform(0.25, 4.0, size=(w.size, num_links))
         tables = loads[None, None, :] / caps[:, :, None]
         game = PlayerSpecificGame(w, tables)

@@ -14,13 +14,14 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Iterator, Sequence, TypeVar
 
 from repro.util.rng import stable_seed
 
 __all__ = [
     "chunk_ranges",
     "resolve_jobs",
+    "iter_tasks",
     "run_tasks",
     "ReplicationChunk",
     "make_replication_chunks",
@@ -124,6 +125,30 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+def iter_tasks(
+    fn: Callable[[T], R], tasks: Sequence[T], *, jobs: int | None = 1
+) -> Iterator[R]:
+    """Map *fn* over *tasks*, yielding results in task order.
+
+    The streaming form of :func:`run_tasks`: the campaign runtime
+    consumes results one at a time so it can checkpoint each chunk to
+    its result store the moment the chunk completes (a later kill then
+    leaves a resumable prefix on disk). ``jobs=None`` or ``jobs=1``
+    runs inline (no pool, no pickling); ``jobs=0`` uses all CPUs;
+    anything larger fans out over a :class:`ProcessPoolExecutor`, whose
+    ``map`` already yields in submission order regardless of worker
+    scheduling.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            yield fn(task)
+        return
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        yield from pool.map(fn, tasks)
+
+
 def run_tasks(
     fn: Callable[[T], R], tasks: Sequence[T], *, jobs: int | None = 1
 ) -> list[R]:
@@ -135,9 +160,4 @@ def run_tasks(
     order, so callers aggregate deterministically no matter how the
     pool schedules the work.
     """
-    tasks = list(tasks)
-    jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(tasks) <= 1:
-        return [fn(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        return list(pool.map(fn, tasks))
+    return list(iter_tasks(fn, tasks, jobs=jobs))

@@ -5,8 +5,15 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.base import ExperimentResult
-from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
-from repro.cli import build_parser, main
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    UNIVERSAL_OPTIONS,
+    get_experiment,
+    get_experiment_specs,
+    run_experiment,
+)
+from repro.cli import build_parser, expand_ids, main
+from repro.runtime import SweepSpec
 from repro.util.tables import Table
 
 
@@ -20,6 +27,54 @@ class TestRegistry:
     def test_unknown_raises_with_guidance(self):
         with pytest.raises(KeyError, match="valid ids"):
             get_experiment("E99")
+
+    @pytest.mark.parametrize("experiment_id", list(EXPERIMENTS))
+    def test_every_entry_carries_specs(self, experiment_id):
+        """The registry's sweep metadata: every experiment declares at
+        least one spec whose kernel is a picklable module-level
+        callable and whose experiment id matches the registry key."""
+        for quick in (True, False):
+            specs = get_experiment_specs(experiment_id, quick=quick)
+            assert specs, experiment_id
+            for spec in specs:
+                assert isinstance(spec, SweepSpec)
+                assert spec.experiment == experiment_id
+                assert spec.cells
+                assert spec.total_replications > 0
+                # Picklability contract for the process-pool fan-out.
+                import pickle
+
+                pickle.loads(pickle.dumps(spec.kernel))
+
+    def test_distinct_labels_within_an_experiment(self):
+        """Multi-spec experiments must not share seed labels (store
+        keys and streams would collide)."""
+        for experiment_id in EXPERIMENTS:
+            labels = [
+                s.label for s in get_experiment_specs(experiment_id, quick=True)
+            ]
+            assert len(labels) == len(set(labels))
+
+
+class TestRunExperimentOptions:
+    def test_universal_options_filtered_per_signature(self):
+        result = run_experiment("E8", quick=True, jobs=1, batch_size=7)
+        assert result.passed
+
+    def test_unknown_option_raises(self):
+        """The silent-drop bug: a misspelled option must raise, not
+        masquerade as a successful run."""
+        with pytest.raises(TypeError, match="unknown option"):
+            run_experiment("E8", quick=True, batchsize=3)
+
+    def test_unknown_option_message_names_the_option(self):
+        with pytest.raises(TypeError, match="replications"):
+            run_experiment("e5", quick=True, replications=9)
+
+    def test_universal_options_stay_universal(self):
+        assert UNIVERSAL_OPTIONS == {
+            "jobs", "batch_size", "seed", "store", "resume",
+        }
 
 
 class TestQuickRunners:
@@ -66,3 +121,42 @@ class TestCli:
     def test_run_requires_ids(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run"])
+
+    def test_expand_ids_dedupes_preserving_order(self):
+        assert expand_ids(["E5", "E5", "e5"]) == ["E5"]
+        assert expand_ids(["E5", "E5", "all"]) == (
+            ["E5"] + [f"E{i}" for i in range(1, 13) if i != 5]
+        )
+        assert expand_ids(["e8", "E2", "e8"]) == ["E8", "E2"]
+
+    def test_run_dedupes_ids(self, capsys):
+        assert main(["run", "E8", "e8", "E8", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[E8]") == 1
+
+    def test_seed_flag_changes_results(self):
+        base = run_experiment("E5", quick=True)
+        seeded = run_experiment("E5", quick=True, seed=123)
+        again = run_experiment("E5", quick=True, seed=123)
+        assert seeded.passed and again.passed
+        assert seeded.details == again.details
+        # A different stream family: the BRD step statistics differ
+        # (pure-NE existence itself holds for every family).
+        assert seeded.details != base.details or seeded.tables[0].render() != base.tables[0].render()
+
+    def test_resume_requires_store(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "E8", "--quick", "--resume"])
+        assert "--resume requires --store" in capsys.readouterr().err
+
+    def test_run_with_store_and_resume(self, tmp_path, capsys):
+        store = tmp_path / "store.jsonl"
+        assert main(["run", "E8", "--quick", "--store", str(store)]) == 0
+        first = store.read_bytes()
+        assert first
+        assert main(
+            ["run", "E8", "--quick", "--store", str(store), "--resume"]
+        ) == 0
+        assert store.read_bytes() == first
+        out = capsys.readouterr().out
+        assert out.count("PASS") >= 2

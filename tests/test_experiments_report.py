@@ -1,0 +1,62 @@
+"""Round-trip coverage for the EXPERIMENTS.md report pipeline.
+
+Runs the real ``report`` command end to end in quick mode and asserts
+the generated document is complete: every registry id has its section,
+the summary table covers all experiments, and the overall verdict line
+is present. A second test pins the store/resume path through the report
+command.
+"""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.report import PAPER_CLAIMS, render_markdown, run_all
+
+
+class TestReportRoundTrip:
+    def test_quick_report_covers_every_experiment(self, tmp_path, capsys):
+        out = tmp_path / "EXPERIMENTS.md"
+        rc = main(["report", "-o", str(out), "--quick"])
+        assert rc == 0
+        text = out.read_text()
+        for experiment_id in EXPERIMENTS:
+            assert f"## {experiment_id} — " in text, experiment_id
+            assert f"| {experiment_id} |" in text  # summary table row
+        assert "**Overall verdict:** ALL PASS (12/12 experiments)." in text
+        assert "(quick mode)" in text
+        stdout = capsys.readouterr().out
+        assert "all passed" in stdout
+
+    def test_report_subset_with_store_resume(self, tmp_path):
+        out = tmp_path / "R.md"
+        store = tmp_path / "store.jsonl"
+        rc = main(
+            ["report", "-o", str(out), "--quick", "--ids", "E8", "e8",
+             "--store", str(store)]
+        )
+        assert rc == 0
+        first = store.read_bytes()
+        assert first  # chunks were checkpointed
+        text = out.read_text()
+        assert "## E8 — " in text
+        assert "## E7 — " not in text  # duplicate ids collapsed to one run
+        # Resuming recomputes nothing and leaves the store untouched.
+        rc = main(
+            ["report", "-o", str(out), "--quick", "--ids", "E8",
+             "--store", str(store), "--resume"]
+        )
+        assert rc == 0
+        assert store.read_bytes() == first
+
+
+class TestRenderMarkdown:
+    def test_failure_renders_failures_present(self, tmp_path):
+        run = run_all(quick=True, ids=["E8"])
+        run.results[0].passed = False
+        text = render_markdown(run, quick=True)
+        assert "**Overall verdict:** FAILURES PRESENT (0/1 experiments)." in text
+        assert "FAIL" in text
+
+    def test_every_registry_id_has_a_claim(self):
+        assert set(PAPER_CLAIMS) == set(EXPERIMENTS)

@@ -1,0 +1,238 @@
+"""Tests for the campaign runtime: spec, store, scheduler, resume.
+
+The resume contract under test is the strong one the runtime promises:
+kill a run at *any* chunk boundary, resume with the same flags, and the
+final store file is byte-identical to an uninterrupted run — while the
+aggregated payloads are identical for every jobs/batch-size/resume
+combination.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators.suites import GridCell
+from repro.runtime import ResultStore, SweepSpec, run_sweep
+from repro.util.parallel import ReplicationChunk
+
+
+def _echo_kernel(chunk: ReplicationChunk) -> dict:
+    """A deterministic kernel: fingerprints the chunk's seed stream."""
+    seeds = chunk.seeds()
+    return {
+        "label": chunk.label,
+        "n": chunk.num_users,
+        "m": chunk.num_links,
+        "lo": chunk.rep_lo,
+        "hi": chunk.rep_hi,
+        "seed_sum": sum(seeds),
+        "first": seeds[0] if seeds else None,
+    }
+
+
+def _spec(label: str = "rt-test") -> SweepSpec:
+    return SweepSpec(
+        experiment="RT",
+        label=label,
+        cells=(GridCell(2, 2, 5), GridCell(3, 2, 4), GridCell(3, 3, 3)),
+        kernel=_echo_kernel,
+    )
+
+
+class TestSweepSpec:
+    def test_chunks_cover_grid(self):
+        spec = _spec()
+        chunks, cell_of_chunk = spec.chunks(batch_size=2)
+        assert len(chunks) == 3 + 2 + 2  # ceil(5/2) + ceil(4/2) + ceil(3/2)
+        assert cell_of_chunk == [0, 0, 0, 1, 1, 2, 2]
+        assert spec.total_replications == 12
+
+    def test_seeded_label_default_identity(self):
+        spec = _spec()
+        assert spec.seeded_label(None) == spec.label
+        assert spec.seeded_label(7) != spec.label
+        assert spec.seeded_label(7) == spec.seeded_label(7)
+
+    def test_seed_override_changes_streams(self):
+        spec = _spec()
+        base = run_sweep(spec).chunk_payloads
+        other = run_sweep(spec, seed=7).chunk_payloads
+        again = run_sweep(spec, seed=7).chunk_payloads
+        assert base != other
+        assert other == again
+
+
+class TestResultStore:
+    def test_round_trip_and_last_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        record = {
+            "experiment": "RT", "label": "x", "n": 2, "m": 2,
+            "rep_lo": 0, "rep_hi": 4, "payload": [1, 2.5, True],
+        }
+        store.append(record)
+        store.append({**record, "payload": [9]})
+        payloads = store.load_payloads()
+        assert payloads[("RT", "x", 2, 2, 0, 4)] == [9]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert ResultStore(tmp_path / "absent.jsonl").load_payloads() == {}
+
+    def test_damaged_tail_ignored(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.append(
+            {"experiment": "RT", "label": "x", "n": 2, "m": 2,
+             "rep_lo": 0, "rep_hi": 4, "payload": 1}
+        )
+        with path.open("a") as fh:
+            fh.write('{"experiment": "RT", "label": "x", "n": 2,')  # kill mid-write
+        assert len(store.load_payloads()) == 1
+
+    def test_coerce(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        assert ResultStore.coerce(None) is None
+        store = ResultStore(path)
+        assert ResultStore.coerce(store) is store
+        assert ResultStore.coerce(str(path)).path == path
+
+
+class TestScheduler:
+    def test_jobs_and_batch_size_invariance(self):
+        """Per-cell aggregates must not depend on chunking or workers
+        (chunk *payloads* naturally differ in shape with batch_size)."""
+
+        def cell_totals(result):
+            return [
+                sum(p["seed_sum"] for p in group)
+                for group in result.payloads_by_cell
+            ]
+
+        spec = _spec()
+        ref = cell_totals(run_sweep(spec))
+        assert cell_totals(run_sweep(spec, batch_size=1)) == ref
+        assert cell_totals(run_sweep(spec, batch_size=2)) == ref
+        assert cell_totals(run_sweep(spec, jobs=2, batch_size=2)) == ref
+
+    def test_store_writes_one_line_per_chunk(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        result = run_sweep(_spec(), batch_size=2, store=path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == result.computed_chunks == 7
+        keys = [ResultStore.record_key(json.loads(line)) for line in lines]
+        assert len(set(keys)) == len(keys)
+
+    def test_resume_skips_completed_chunks(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        spec = _spec()
+        fresh = run_sweep(spec, batch_size=2, store=path)
+        assert fresh.resumed_chunks == 0
+        resumed = run_sweep(spec, batch_size=2, store=path, resume=True)
+        assert resumed.computed_chunks == 0
+        assert resumed.resumed_chunks == 7
+        assert resumed.chunk_payloads == fresh.chunk_payloads
+        # Nothing was re-appended.
+        assert len(path.read_text().strip().splitlines()) == 7
+
+    def test_resume_requires_store(self):
+        with pytest.raises(ValueError, match="resume"):
+            run_sweep(_spec(), resume=True)
+
+    def test_resume_ignores_other_labels(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        run_sweep(_spec("other-label"), batch_size=2, store=path)
+        resumed = run_sweep(_spec(), batch_size=2, store=path, resume=True)
+        assert resumed.resumed_chunks == 0
+        assert resumed.computed_chunks == 7
+
+    def test_payloads_by_cell_geometry(self):
+        spec = _spec()
+        result = run_sweep(spec, batch_size=2)
+        by_cell = result.payloads_by_cell
+        assert [len(group) for group in by_cell] == [3, 2, 2]
+        for cell, group in zip(spec.cells, by_cell):
+            assert all(p["n"] == cell.num_users for p in group)
+            assert [p["lo"] for p in group] == sorted(p["lo"] for p in group)
+
+    def test_fresh_payloads_are_json_canonical(self):
+        """A kernel returning tuples must aggregate as lists, so fresh
+        and resumed runs are indistinguishable to the aggregation."""
+
+        result = run_sweep(
+            SweepSpec("RT", "rt-tuple", (GridCell(2, 2, 2),), _tuple_kernel)
+        )
+        assert result.chunk_payloads == [[2, [0, 1]]]
+
+
+def _tuple_kernel(chunk: ReplicationChunk) -> tuple:
+    return (chunk.num_users, tuple(range(chunk.rep_lo, chunk.rep_hi)))
+
+
+class TestResumeAfterKill:
+    """Satellite property: resume-after-kill reproduces the store byte
+    for byte, for every kill point and chunking."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        batch_size=st.one_of(st.none(), st.integers(1, 5)),
+        kill_after=st.integers(0, 12),
+    )
+    def test_store_byte_identical(self, tmp_path_factory, batch_size, kill_after):
+        tmp_path = tmp_path_factory.mktemp("resume-kill")
+        spec = _spec()
+        full_path = tmp_path / "full.jsonl"
+        full = run_sweep(spec, batch_size=batch_size, store=full_path)
+        full_bytes = full_path.read_bytes()
+
+        # Simulate a kill after `kill_after` completed chunks: the store
+        # holds a prefix of the canonical line sequence.
+        lines = full_bytes.splitlines(keepends=True)
+        kill_after = min(kill_after, len(lines))
+        killed_path = tmp_path / "killed.jsonl"
+        killed_path.write_bytes(b"".join(lines[:kill_after]))
+
+        resumed = run_sweep(
+            spec, batch_size=batch_size, store=killed_path, resume=True
+        )
+        assert resumed.resumed_chunks == kill_after
+        assert resumed.computed_chunks == len(lines) - kill_after
+        assert killed_path.read_bytes() == full_bytes
+        assert resumed.chunk_payloads == full.chunk_payloads
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        batch_size=st.one_of(st.none(), st.integers(1, 5)),
+        cut_fraction=st.floats(0.0, 1.0),
+    )
+    def test_store_byte_identical_mid_line_kill(
+        self, tmp_path_factory, batch_size, cut_fraction
+    ):
+        """A kill can also land *mid-write*, leaving a torn final line.
+
+        The torn fragment must not poison subsequent appends (the
+        recomputed chunk's record must stay parseable) and the healed,
+        resumed store must still converge to the uninterrupted bytes."""
+        tmp_path = tmp_path_factory.mktemp("resume-tear")
+        spec = _spec()
+        full_path = tmp_path / "full.jsonl"
+        full = run_sweep(spec, batch_size=batch_size, store=full_path)
+        full_bytes = full_path.read_bytes()
+
+        cut = int(len(full_bytes) * cut_fraction)
+        killed_path = tmp_path / "killed.jsonl"
+        killed_path.write_bytes(full_bytes[:cut])
+
+        resumed = run_sweep(
+            spec, batch_size=batch_size, store=killed_path, resume=True
+        )
+        assert killed_path.read_bytes() == full_bytes
+        assert resumed.chunk_payloads == full.chunk_payloads
+        # And a second resume recomputes nothing: the store converged.
+        again = run_sweep(
+            spec, batch_size=batch_size, store=killed_path, resume=True
+        )
+        assert again.computed_chunks == 0
+        assert killed_path.read_bytes() == full_bytes
