@@ -1,0 +1,19 @@
+"""The speedup gates' shared wall-clock helper.
+
+One definition for every ``bench_*.py`` gate so the timing methodology
+(perf_counter, one cold call per sample) cannot drift between benches —
+the ``BENCH_trajectory.json`` artifact compares their numbers across
+commits, which is only meaningful while they measure the same way.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+def _timed(fn: Callable[[], object]) -> float:
+    """Seconds one invocation of *fn* takes."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -25,9 +25,8 @@ record how the sweep scales with batch width.
 
 from __future__ import annotations
 
-import time
-
 import pytest
+from _timing import _timed
 from seed_baseline import seed_run_conjecture_campaign
 
 from repro.analysis.conjecture import run_conjecture_campaign
@@ -67,7 +66,7 @@ def test_campaign_looped(benchmark):
     assert campaign.conjecture_supported
 
 
-def test_campaign_speedup_at_least_5x(report):
+def test_campaign_speedup_at_least_5x(report, trajectory):
     """Acceptance gate: batched quick-grid campaign >= 5x the seed loop."""
     # The vendored seed implementation must agree with the batched
     # engine bit for bit, otherwise the timing comparison is meaningless.
@@ -75,14 +74,16 @@ def test_campaign_speedup_at_least_5x(report):
     seed_result = seed_run_conjecture_campaign(GATE_GRID, label=LABEL)
     assert _cells_key(batched_result) == _cells_key(seed_result)
 
-    batched = min(
+    batched_times = [
         _timed(lambda: run_conjecture_campaign(GATE_GRID, label=LABEL))
         for _ in range(10)
-    )
-    looped = min(
+    ]
+    looped_times = [
         _timed(lambda: seed_run_conjecture_campaign(GATE_GRID, label=LABEL))
         for _ in range(4)
-    )
+    ]
+    trajectory.record("conjecture-campaign", batched_times, looped_times)
+    batched, looped = min(batched_times), min(looped_times)
     ratio = looped / batched
     smoke_b = min(
         _timed(lambda: run_conjecture_campaign(QUICK_GRID, label=LABEL))
@@ -99,12 +100,6 @@ def test_campaign_speedup_at_least_5x(report):
         f"{smoke_l / smoke_b:.1f}x)"
     )
     assert ratio >= 5.0, f"batched campaign only {ratio:.2f}x faster"
-
-
-def _timed(fn):
-    start = time.perf_counter()
-    fn()
-    return time.perf_counter() - start
 
 
 @pytest.mark.parametrize("batch_size", [8, 64, 512])

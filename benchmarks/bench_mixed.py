@@ -27,10 +27,9 @@ per-equilibrium Python loop, clears 5x on its own.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 import pytest
+from _timing import _timed
 from mixed_seed_baseline import (
     seed_fmne_closed_form_sweep,
     seed_poa_study,
@@ -88,13 +87,7 @@ def _observation_dicts(observations):
     ]
 
 
-def _timed(fn):
-    start = time.perf_counter()
-    fn()
-    return time.perf_counter() - start
-
-
-def test_mixed_speedup_at_least_5x(report):
+def test_mixed_speedup_at_least_5x(report, trajectory):
     """Acceptance gate: batched mixed+PoA pipeline >= 5x the seed loop."""
     # The vendored seed pipeline must agree with the batched engine bit
     # for bit, otherwise the timing comparison is meaningless.
@@ -113,8 +106,10 @@ def test_mixed_speedup_at_least_5x(report):
         seed_fmne_closed_form_sweep(E7_GRID, label=LABEL)
         seed_poa_study(E10_GRID, uniform_beliefs=False, label=LABEL)
 
-    batched = min(_timed(batched_pipeline) for _ in range(8))
-    looped = min(_timed(looped_pipeline) for _ in range(3))
+    batched_times = [_timed(batched_pipeline) for _ in range(8)]
+    looped_times = [_timed(looped_pipeline) for _ in range(3)]
+    trajectory.record("mixed-pipeline", batched_times, looped_times)
+    batched, looped = min(batched_times), min(looped_times)
     ratio = looped / batched
 
     fmne_b = min(_timed(lambda: batched_fmne_closed_form_sweep(E7_GRID)) for _ in range(8))

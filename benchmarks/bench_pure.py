@@ -1,0 +1,196 @@
+"""Batched vs per-game pure-strategy pipeline (the lockstep gate).
+
+Measures the Section 3 pure-strategy experiments two ways:
+
+* ``batched`` — the E1-E4/E6 chunk kernels exactly as the campaign
+  runtime drives them: each chunk's seeds stacked into one
+  :class:`~repro.batch.container.GameBatch`, solved by the lockstep
+  solvers of :mod:`repro.batch.pure`, graded by one batched Nash mask /
+  census / potential-verify call;
+* ``looped``  — the per-game pipeline exactly as it existed before the
+  batched pure engine, vendored verbatim in
+  ``benchmarks/pure_seed_baseline.py`` (per seed: build the game, run
+  the sequential algorithm, check the profile / build the response
+  graph / walk the sampled four-cycles in Python).
+
+Both sides must agree payload for payload before any timing is trusted;
+the tier-1 suite pins the same contract through the frozen fingerprints
+in ``tests/data/pure_seed_baseline.json``. The >= 5x gates run at
+campaign-representative widths; a second gate covers lockstep
+nashification, the headline kernel of the batched pure engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from _timing import _timed
+import pure_seed_baseline as seed
+
+from repro.batch.container import GameBatch
+from repro.batch.pure import batch_nashify_common_beliefs, batch_response_cycle_census
+from repro.experiments.algorithms import (
+    _examine_e1_chunk,
+    _examine_e2_chunk,
+    _examine_e3_chunk,
+    _examine_e4_chunk,
+)
+from repro.experiments.campaign import (
+    _examine_e6_gap_chunk,
+    _examine_e6_kp_chunk,
+    _examine_e6_sym_chunk,
+)
+from repro.generators.suites import GridCell
+from repro.util.parallel import ReplicationChunk
+from repro.util.rng import as_generator, stable_seed
+
+LABEL = "bench-pure"
+
+#: (label, cells, batched kernel, vendored seed kernel) — campaign-
+#: representative widths for every rewired experiment.
+PIPELINE = [
+    ("E1", [GridCell(8, 2, 20), GridCell(21, 2, 12)],
+     _examine_e1_chunk, seed.seed_examine_e1_chunk),
+    ("E2", [GridCell(8, 4, 12)],
+     _examine_e2_chunk, seed.seed_examine_e2_chunk),
+    ("E3", [GridCell(16, 4, 12), GridCell(64, 8, 12)],
+     _examine_e3_chunk, seed.seed_examine_e3_chunk),
+    ("E4", [GridCell(3, m, 25) for m in (2, 3, 4)],
+     _examine_e4_chunk, seed.seed_examine_e4_chunk),
+    ("E6-gap", [GridCell(3, 3, 8)],
+     _examine_e6_gap_chunk, seed.seed_examine_e6_gap_chunk),
+    ("E6-kp", [GridCell(4, 3, 15)],
+     _examine_e6_kp_chunk, seed.seed_examine_e6_kp_chunk),
+    ("E6-sym", [GridCell(4, 3, 15)],
+     _examine_e6_sym_chunk, seed.seed_examine_e6_sym_chunk),
+]
+
+
+def _chunks(label, cells):
+    return [
+        ReplicationChunk(
+            label=f"{LABEL}-{label}",
+            num_users=cell.num_users,
+            num_links=cell.num_links,
+            rep_lo=0,
+            rep_hi=cell.replications,
+        )
+        for cell in cells
+    ]
+
+
+def batched_pipeline():
+    """Every experiment's chunks through the whole-stack batch kernels."""
+    return [
+        [kernel(chunk) for chunk in _chunks(label, cells)]
+        for label, cells, kernel, _ in PIPELINE
+    ]
+
+
+def looped_pipeline():
+    """The same chunks through the vendored pre-batch per-game loops."""
+    return [
+        [kernel(chunk) for chunk in _chunks(label, cells)]
+        for label, cells, _, kernel in PIPELINE
+    ]
+
+
+def test_pure_pipeline_speedup_at_least_5x(report, trajectory):
+    """Acceptance gate: batched E1-E4/E6 kernels >= 5x the seed loops."""
+    # The vendored per-game pipeline must agree with the batched kernels
+    # payload for payload, otherwise the timing comparison is
+    # meaningless (the frozen baseline pins the same contract bit for
+    # bit on the real campaign grids).
+    assert batched_pipeline() == looped_pipeline()
+
+    batched_times = [_timed(batched_pipeline) for _ in range(5)]
+    looped_times = [_timed(looped_pipeline) for _ in range(3)]
+    batched, looped = min(batched_times), min(looped_times)
+    ratio = looped / batched
+    report.append(
+        f"[pure] E1-E4/E6 chunk kernels at campaign widths: batched "
+        f"{batched * 1e3:.2f} ms, seed per-game loop {looped * 1e3:.2f} ms, "
+        f"speedup {ratio:.1f}x"
+    )
+    trajectory.record("pure-pipeline", batched_times, looped_times)
+    assert ratio >= 5.0, f"batched pure pipeline only {ratio:.2f}x faster"
+
+
+NASHIFY_B, NASHIFY_N, NASHIFY_M = 64, 8, 4
+NASHIFY_SEEDS = [stable_seed(LABEL, "nashify", i) for i in range(NASHIFY_B)]
+
+
+def _nashify_inputs():
+    batch = GameBatch.from_seeds_kp(NASHIFY_SEEDS, NASHIFY_N, NASHIFY_M)
+    starts = as_generator(stable_seed(LABEL, "starts")).integers(
+        0, NASHIFY_M, size=(NASHIFY_B, NASHIFY_N)
+    )
+    return batch, starts
+
+
+def batched_nashify(batch, starts):
+    return batch_nashify_common_beliefs(batch, starts)
+
+
+def looped_nashify(starts):
+    from repro.generators.games import random_kp_game
+
+    return [
+        seed.seed_nashify_common_beliefs(
+            random_kp_game(NASHIFY_N, NASHIFY_M, seed=s), starts[i]
+        )
+        for i, s in enumerate(NASHIFY_SEEDS)
+    ]
+
+
+def test_nashify_speedup_at_least_5x(report, trajectory):
+    """Acceptance gate: lockstep nashification >= 5x the seed loop."""
+    batch, starts = _nashify_inputs()
+    result = batched_nashify(batch, starts)
+    reference = looped_nashify(starts)
+    for i, ref in enumerate(reference):
+        assert np.array_equal(result.profiles[i], ref["links"])
+        assert result.steps[i] == ref["steps"]
+        assert result.sc1_after[i] == ref["sc1_after"]
+        assert result.sc2_after[i] == ref["sc2_after"]
+        assert result.max_congestion_after[i] == ref["max_congestion_after"]
+    assert result.preserved_max_congestion.all()
+
+    batched_times = [
+        _timed(lambda: batched_nashify(batch, starts)) for _ in range(5)
+    ]
+    looped_times = [_timed(lambda: looped_nashify(starts)) for _ in range(3)]
+    batched, looped = min(batched_times), min(looped_times)
+    ratio = looped / batched
+    report.append(
+        f"[pure] lockstep nashification (B={NASHIFY_B}, n={NASHIFY_N}, "
+        f"m={NASHIFY_M}): batched {batched * 1e3:.2f} ms, seed loop "
+        f"{looped * 1e3:.2f} ms, speedup {ratio:.1f}x"
+    )
+    trajectory.record("pure-nashify", batched_times, looped_times)
+    assert ratio >= 5.0, f"lockstep nashification only {ratio:.2f}x faster"
+
+
+def test_batched_pipeline(benchmark):
+    results = benchmark(batched_pipeline)
+    assert len(results) == len(PIPELINE)
+
+
+def test_looped_pipeline(benchmark):
+    results = benchmark(looped_pipeline)
+    assert len(results) == len(PIPELINE)
+
+
+def test_batched_nashify_kernel(benchmark):
+    batch, starts = _nashify_inputs()
+    result = benchmark(lambda: batched_nashify(batch, starts))
+    assert len(result) == NASHIFY_B
+
+
+@pytest.mark.parametrize("batch_size", [16, 64, 256])
+def test_census_widths(benchmark, batch_size):
+    """Stacked census throughput per stack width (n=3, m=3)."""
+    seeds = [stable_seed("bench-pure-census", i) for i in range(batch_size)]
+    batch = GameBatch.from_seeds(seeds, 3, 3)
+    verdicts = benchmark(lambda: batch_response_cycle_census(batch, kind="best"))
+    assert verdicts.shape == (batch_size,)

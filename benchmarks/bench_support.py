@@ -22,10 +22,9 @@ and the E9 grid at 8 — the campaign's standard cross-check load.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 import pytest
+from _timing import _timed
 from support_seed_baseline import seed_enumerate_mixed_nash
 
 from repro.batch.container import GameBatch
@@ -89,13 +88,7 @@ def _equilibria_agree(batched, looped, *, atol=1e-8):
     return True
 
 
-def _timed(fn):
-    start = time.perf_counter()
-    fn()
-    return time.perf_counter() - start
-
-
-def test_support_speedup_at_least_5x(report):
+def test_support_speedup_at_least_5x(report, trajectory):
     """Acceptance gate: stacked support enumeration >= 5x the seed loop."""
     batches = _cell_batches(E7_GRID) + _cell_batches(E9_GRID)
     # The vendored per-game loop must agree with the stacked solver on
@@ -105,8 +98,12 @@ def test_support_speedup_at_least_5x(report):
     # fingerprints pin the count-level contract bit for bit.)
     assert _equilibria_agree(batched_cross_check(batches), looped_cross_check(batches))
 
-    batched = min(_timed(lambda: batched_cross_check(batches)) for _ in range(5))
-    looped = min(_timed(lambda: looped_cross_check(batches)) for _ in range(3))
+    batched_times = [
+        _timed(lambda: batched_cross_check(batches)) for _ in range(5)
+    ]
+    looped_times = [_timed(lambda: looped_cross_check(batches)) for _ in range(3)]
+    trajectory.record("support-enumeration", batched_times, looped_times)
+    batched, looped = min(batched_times), min(looped_times)
     ratio = looped / batched
     report.append(
         f"[support] E7 (x12) + E9 (x8) cross-check widths: batched "

@@ -6,9 +6,21 @@ pytest-benchmark; the series the paper's claims imply (correctness
 verdicts, ratios vs bounds, scaling exponents) are printed once per
 session by the reporting fixtures so that
 ``pytest benchmarks/ --benchmark-only -s`` emits the EXPERIMENTS.md rows.
+
+The ``trajectory`` fixture additionally collects the speedup gates'
+structured timings (per-bench median/min seconds and the speedup factor
+each ``test_*speedup*`` asserts on) and, when ``BENCH_TRAJECTORY_PATH``
+is set, writes them as one JSON document at session end — the artifact
+CI's ``bench.yml`` workflow uploads per commit so the performance
+trajectory of the batched engines is tracked instead of being implied.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import statistics
+from pathlib import Path
 
 import pytest
 
@@ -20,3 +32,50 @@ def report():
     yield lines
     if lines:
         print("\n" + "\n".join(lines))
+
+
+class TrajectoryRecorder:
+    """Structured sink for the speedup gates' timing measurements."""
+
+    def __init__(self) -> None:
+        self.entries: list[dict] = []
+
+    def record(
+        self,
+        name: str,
+        batched_seconds: list[float],
+        seed_seconds: list[float],
+    ) -> None:
+        """Record one gate's repeat timings (seconds per full pass).
+
+        The stored ``speedup`` uses the same min-over-repeats estimator
+        the gates assert on; medians ride along for trend plots that
+        prefer a noise-resistant center.
+        """
+        self.entries.append(
+            {
+                "name": name,
+                "batched_median_s": statistics.median(batched_seconds),
+                "batched_min_s": min(batched_seconds),
+                "seed_median_s": statistics.median(seed_seconds),
+                "seed_min_s": min(seed_seconds),
+                "speedup": min(seed_seconds) / min(batched_seconds),
+                "repeats": [len(batched_seconds), len(seed_seconds)],
+            }
+        )
+
+
+@pytest.fixture(scope="session")
+def trajectory():
+    """Collect speedup-gate timings; write them when CI asks for them."""
+    recorder = TrajectoryRecorder()
+    yield recorder
+    path = os.environ.get("BENCH_TRAJECTORY_PATH")
+    if path and recorder.entries:
+        payload = {
+            "commit": os.environ.get("GITHUB_SHA"),
+            "ref": os.environ.get("GITHUB_REF"),
+            "run_id": os.environ.get("GITHUB_RUN_ID"),
+            "benches": recorder.entries,
+        }
+        Path(path).write_text(json.dumps(payload, indent=1) + "\n")

@@ -33,11 +33,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import networkx as nx
 import numpy as np
 
+from repro.batch.container import GameBatch
+from repro.batch.pure import batch_response_cycle_census
 from repro.model.game import UncertainRoutingGame
 from repro.equilibria.game_graph import better_response_graph, find_response_cycle
 from repro.util.rng import RandomState, as_generator
@@ -46,8 +48,29 @@ __all__ = [
     "CycleSearchResult",
     "realize_cycle",
     "abstract_move_graph",
+    "response_cycle_census",
     "search_improvement_cycle_instance",
 ]
+
+
+def response_cycle_census(
+    games: Sequence[UncertainRoutingGame] | GameBatch,
+    *,
+    kind: str = "better",
+    tol: float = 1e-9,
+) -> np.ndarray:
+    """Per-game response-cycle verdicts for a stack of same-shape games.
+
+    The census half of this module: instead of materialising one
+    :class:`networkx.DiGraph` per instance, the whole stack's
+    best-/better-response edges are extracted vectorised and peeled by
+    one Kahn pass (:func:`repro.batch.pure.batch_response_cycle_census`);
+    a single game is just the ``B = 1`` slice. Returns ``(B,)`` bools —
+    ``True`` where the instance contains a response cycle, i.e. (for
+    ``kind="better"``) where it cannot admit an ordinal potential.
+    """
+    batch = games if isinstance(games, GameBatch) else GameBatch.from_games(games)
+    return batch_response_cycle_census(batch, kind=kind, tol=tol)  # type: ignore[arg-type]
 
 
 def abstract_move_graph(num_users: int, num_links: int) -> nx.DiGraph:
@@ -173,9 +196,13 @@ def search_improvement_cycle_instance(
             if caps is None:
                 continue
             game = UncertainRoutingGame.from_capacities(w, caps)
-            response_graph = better_response_graph(game)
-            witness = find_response_cycle(response_graph)
-            if witness is not None:
+            # The batched census decides cycle existence without building
+            # a graph; the (rare) hit then materialises the graph once to
+            # extract an explicit witness walk.
+            if not response_cycle_census([game], kind="better")[0]:
+                continue
+            witness = find_response_cycle(better_response_graph(game))
+            if witness is not None:  # pragma: no branch - census said so
                 return CycleSearchResult(
                     found=True, cycles_tested=tested, game=game, cycle=witness
                 )

@@ -17,6 +17,12 @@ The subsystem behind the library's instance-parallel workloads:
 * :mod:`repro.batch.support`     — stacked ``(B, k, k)`` support
   enumeration; :mod:`repro.equilibria.support_enum` is its ``B = 1``
   view;
+* :mod:`repro.batch.pure`        — lockstep nashification, batched
+  potential evaluators / four-cycle gaps, the PNE/response-cycle
+  census and the lockstep Section 3 solvers;
+  :mod:`repro.equilibria.nashify`, the evaluators in
+  :mod:`repro.equilibria.potential` and the census half of
+  :mod:`repro.analysis.cycles` are their ``B = 1`` views;
 * :mod:`repro.batch.generator`   — one-pass vectorised instance drawing.
 """
 
@@ -48,6 +54,21 @@ from repro.batch.support import (
     batch_enumerate_for,
     batch_enumerate_mixed_nash,
     support_profiles,
+)
+from repro.batch.pure import (
+    BatchNashifyResult,
+    batch_asymmetric,
+    batch_atwolinks,
+    batch_auniform,
+    batch_four_cycle_gaps,
+    batch_nashify,
+    batch_nashify_common_beliefs,
+    batch_ordinal_potential_symmetric,
+    batch_response_cycle_census,
+    batch_sampled_cycle_gaps,
+    batch_verify_ordinal_potential_symmetric,
+    batch_verify_weighted_potential,
+    batch_weighted_potential,
 )
 from repro.batch.poa import (
     BatchRatioResult,
@@ -82,6 +103,19 @@ __all__ = [
     "batch_enumerate_for",
     "batch_enumerate_mixed_nash",
     "support_profiles",
+    "BatchNashifyResult",
+    "batch_asymmetric",
+    "batch_atwolinks",
+    "batch_auniform",
+    "batch_four_cycle_gaps",
+    "batch_nashify",
+    "batch_nashify_common_beliefs",
+    "batch_ordinal_potential_symmetric",
+    "batch_response_cycle_census",
+    "batch_sampled_cycle_gaps",
+    "batch_verify_ordinal_potential_symmetric",
+    "batch_verify_weighted_potential",
+    "batch_weighted_potential",
     "BatchRatioResult",
     "EquilibriumStack",
     "batch_all_pure_latencies",

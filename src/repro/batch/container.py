@@ -18,7 +18,7 @@ game object when a single-game API is needed.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator, Literal, Sequence
 
 import numpy as np
 
@@ -26,6 +26,30 @@ from repro.errors import DimensionError, ModelError
 from repro.model.game import UncertainRoutingGame
 
 __all__ = ["GameBatch"]
+
+#: Mirrors ``repro.generators.games.WeightKind`` (imported lazily there
+#: to keep the batch layer import-independent of the generator layer).
+WeightKind = Literal["uniform", "exponential", "lognormal", "integer"]
+
+
+def _dirichlet_effective_capacities(
+    beliefs: np.ndarray, states: np.ndarray
+) -> np.ndarray:
+    """Reduce replayed Dirichlet beliefs to effective capacities.
+
+    Mirrors the dirichlet_belief factory + Belief validation exactly:
+    clip away exact zeros (maximum == one-sided clip), then normalise
+    twice (the factory once, check_probability_vector once more), then
+    take the belief-harmonic capacities. Every double operation here is
+    parity-critical — the ``from_seeds*`` generators promise bit
+    identity with the single-game generators, and "simplifying" the
+    second normalisation breaks that contract. *beliefs* is modified in
+    place.
+    """
+    np.maximum(beliefs, 1e-15, out=beliefs)
+    beliefs /= beliefs.sum(axis=-1, keepdims=True)
+    beliefs /= beliefs.sum(axis=-1, keepdims=True)
+    return 1.0 / (beliefs @ (1.0 / states))
 
 
 class GameBatch:
@@ -48,9 +72,7 @@ class GameBatch:
             )
         b, n, m = caps.shape
         if w.shape != (b, n):
-            raise DimensionError(
-                f"weights must have shape ({b}, {n}), got {w.shape}"
-            )
+            raise DimensionError(f"weights must have shape ({b}, {n}), got {w.shape}")
         if b < 1:
             raise ModelError("a batch needs at least one game")
         if n < 2 or m < 2:
@@ -106,7 +128,7 @@ class GameBatch:
         *,
         num_states: int = 4,
         concentration: float = 1.0,
-        weight_kind: str = "uniform",
+        weight_kind: WeightKind = "uniform",
         cap_low: float = 0.5,
         cap_high: float = 4.0,
         with_initial_traffic: bool = False,
@@ -145,28 +167,91 @@ class GameBatch:
             # default_rng(seed) and measurably cheaper to construct,
             # which matters at thousands of instances per second.
             rng = np.random.Generator(np.random.PCG64(seed))
-            states[k] = rng.uniform(
-                cap_low, cap_high, size=(num_states, num_links)
-            )
+            states[k] = rng.uniform(cap_low, cap_high, size=(num_states, num_links))
             # One block draw consumes the stream exactly like the
             # per-user dirichlet_belief calls of random_game.
             beliefs[k] = rng.dirichlet(alpha, size=num_users)
             weights[k] = random_weights(num_users, kind=weight_kind, seed=rng)
             if with_initial_traffic:
                 traffic[k] = rng.uniform(0.0, 2.0, size=num_links)
-        # Mirror the dirichlet_belief factory + Belief validation exactly:
-        # clip away exact zeros (maximum == one-sided clip), then
-        # normalise twice (the factory once, check_probability_vector
-        # once more).
-        np.maximum(beliefs, 1e-15, out=beliefs)
-        beliefs /= beliefs.sum(axis=-1, keepdims=True)
-        beliefs /= beliefs.sum(axis=-1, keepdims=True)
-        caps = 1.0 / (beliefs @ (1.0 / states))
+        caps = _dirichlet_effective_capacities(beliefs, states)
         return cls(
             weights,
             caps,
             initial_traffic=traffic if with_initial_traffic else None,
         )
+
+    @classmethod
+    def from_seeds_symmetric(
+        cls,
+        seeds: Sequence[int],
+        num_users: int,
+        num_links: int,
+        *,
+        weight: float = 1.0,
+        num_states: int = 4,
+        concentration: float = 1.0,
+    ) -> "GameBatch":
+        """One symmetric-users game per seed, bit-identical to
+        ``random_symmetric_game(seed=s)``.
+
+        Replays the generator's RNG draws (state capacities, per-user
+        Dirichlet beliefs — the same two blocks as :meth:`from_seeds`,
+        with no weight draw) and sets every weight to the common
+        constant; the E2 and E6 ordinal-potential campaigns rest on this
+        parity exactly as E5 rests on :meth:`from_seeds`.
+        """
+        if num_users < 2 or num_links < 2:
+            raise ModelError("the model requires n > 1 and m > 1")
+        if weight <= 0:
+            raise ModelError("weight must be positive")
+        if num_states < 1:
+            raise ModelError("num_states must be >= 1")
+        if concentration <= 0:
+            raise ModelError("concentration must be positive")
+        seeds = list(seeds)
+        b = len(seeds)
+        states = np.empty((b, num_states, num_links))
+        beliefs = np.empty((b, num_users, num_states))
+        alpha = np.full(num_states, concentration)
+        for k, seed in enumerate(seeds):
+            rng = np.random.Generator(np.random.PCG64(seed))
+            states[k] = rng.uniform(0.5, 4.0, size=(num_states, num_links))
+            beliefs[k] = rng.dirichlet(alpha, size=num_users)
+        caps = _dirichlet_effective_capacities(beliefs, states)
+        return cls(np.full((b, num_users), float(weight)), caps)
+
+    @classmethod
+    def from_seeds_kp(
+        cls,
+        seeds: Sequence[int],
+        num_users: int,
+        num_links: int,
+        *,
+        weight_kind: WeightKind = "uniform",
+    ) -> "GameBatch":
+        """One classic KP instance per seed, bit-identical to
+        ``random_kp_game(seed=s)``.
+
+        Replays the generator's draws (weights, then the shared link
+        capacities) and the single-certain-state belief realisation —
+        whose point-mass reduction is the ``1 / (1 / c)`` double
+        reciprocal, not a float identity — replicated across users.
+        """
+        from repro.generators.games import random_weights
+
+        if num_users < 2 or num_links < 2:
+            raise ModelError("the model requires n > 1 and m > 1")
+        seeds = list(seeds)
+        b = len(seeds)
+        weights = np.empty((b, num_users))
+        link_caps = np.empty((b, num_links))
+        for k, seed in enumerate(seeds):
+            rng = np.random.Generator(np.random.PCG64(seed))
+            weights[k] = random_weights(num_users, kind=weight_kind, seed=rng)
+            link_caps[k] = rng.uniform(0.5, 4.0, size=num_links)
+        caps = 1.0 / (1.0 / link_caps)
+        return cls(weights, np.repeat(caps[:, None, :], num_users, axis=1))
 
     @classmethod
     def from_seeds_uniform_beliefs(
@@ -175,7 +260,7 @@ class GameBatch:
         num_users: int,
         num_links: int,
         *,
-        weight_kind: str = "uniform",
+        weight_kind: WeightKind = "uniform",
         with_initial_traffic: bool = False,
     ) -> "GameBatch":
         """One uniform-beliefs game per seed, bit-identical to

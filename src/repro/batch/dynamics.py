@@ -34,6 +34,7 @@ __all__ = [
     "BatchDynamicsResult",
     "batch_best_response_dynamics",
     "batch_better_response_dynamics",
+    "deviation_slab",
 ]
 
 BatchSchedule = Literal["round_robin", "max_regret"]
@@ -92,21 +93,21 @@ def _start_profiles(
         # is stream-identical to default_rng, just cheaper to build).
         sigma = np.empty((b, n), dtype=np.intp)
         for k, s in enumerate(seeds):
-            sigma[k] = np.random.Generator(np.random.PCG64(s)).integers(
-                0, m, size=n
-            )
+            sigma[k] = np.random.Generator(np.random.PCG64(s)).integers(0, m, size=n)
         return sigma
     rng = as_generator(seed)
     return rng.integers(0, m, size=(b, n)).astype(np.intp)
 
 
-def _deviation_slab(
+def deviation_slab(
     sigma: np.ndarray,
     weights: np.ndarray,
     capacities: np.ndarray,
     traffic: np.ndarray,
     rows: np.ndarray,
     users: np.ndarray,
+    *,
+    loads: np.ndarray | None = None,
 ) -> np.ndarray:
     """Lean ``(A, n, m)`` deviation tensor for the active games.
 
@@ -114,14 +115,20 @@ def _deviation_slab(
     specialised to concrete ``(A, n)`` shapes — loads accumulate user by
     user (bincount order), keeping single-game trajectory parity — with
     the generic broadcasting machinery stripped from the hot loop.
+    *rows*/*users* are caller-held ``arange(B)[:, None]``/``arange(n)[None, :]``
+    index helpers (sliced to the active count internally). A caller that
+    already holds the ``(A, m)`` full loads (initial traffic included)
+    passes them via *loads* to skip the accumulation; the lockstep
+    nashifier shares one loads pass per step this way.
     """
     a, n = sigma.shape
     m = capacities.shape[-1]
-    loads = np.zeros((a, m))
-    flat_rows = rows[:a, 0]
-    for i in range(n):
-        loads[flat_rows, sigma[:, i]] += weights[:, i]
-    loads += traffic
+    if loads is None:
+        loads = np.zeros((a, m))
+        flat_rows = rows[:a, 0]
+        for i in range(n):
+            loads[flat_rows, sigma[:, i]] += weights[:, i]
+        loads += traffic
     seen = loads[:, None, :] + weights[:, :, None]
     seen[rows[:a], users, sigma] -= weights
     seen /= capacities
@@ -157,9 +164,7 @@ def _run_batch_dynamics(
     seen: list[set] = [set() for _ in range(b)]
     # Profiles hash as exact base-m integer codes when they fit in int64
     # (one matvec per iteration); enormous games fall back to raw bytes.
-    radix = (
-        np.power(m, np.arange(n), dtype=np.int64) if m**n < 2**63 else None
-    )
+    radix = np.power(m, np.arange(n), dtype=np.int64) if m**n < 2**63 else None
     all_rows = np.arange(b)[:, None]
     user_cols = np.arange(n)[None, :]
 
@@ -190,7 +195,7 @@ def _run_batch_dynamics(
         else:
             sig_a, w_a = sigma[idx], weights[idx]
             caps_a, traffic_a = caps[idx], traffic[idx]
-        dev = _deviation_slab(sig_a, w_a, caps_a, traffic_a, all_rows, user_cols)
+        dev = deviation_slab(sig_a, w_a, caps_a, traffic_a, all_rows, user_cols)
         current = dev[all_rows[: idx.size], user_cols, sig_a]
         scale = np.maximum(current, 1.0)
         improving = dev.min(axis=-1) < current - tol * scale  # (A, n)

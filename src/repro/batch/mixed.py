@@ -127,9 +127,7 @@ def batch_fully_mixed_candidate(
         raise DimensionError("capacities need at least (n, m), weights (n,)")
     n, m = caps.shape[-2], caps.shape[-1]
     if w.shape[-1] != n:
-        raise DimensionError(
-            f"capacities cover {n} users, weights cover {w.shape[-1]}"
-        )
+        raise DimensionError(f"capacities cover {n} users, weights cover {w.shape[-1]}")
     if initial_traffic is None:
         t = np.zeros(caps.shape[:-2] + (m,))
     else:

@@ -142,9 +142,7 @@ def batch_social_optima(
     best1 = np.full(len(batch), np.inf)
     best2 = np.full(len(batch), np.inf)
     for lo in range(0, assignments.shape[0], PROFILE_BLOCK):
-        _, lat = batch_all_pure_latencies(
-            batch, assignments[lo : lo + PROFILE_BLOCK]
-        )
+        _, lat = batch_all_pure_latencies(batch, assignments[lo : lo + PROFILE_BLOCK])
         np.minimum(best1, lat.sum(axis=2).min(axis=1), out=best1)
         np.minimum(best2, lat.max(axis=2).min(axis=1), out=best2)
     return best1, best2
@@ -221,7 +219,9 @@ def batch_equilibrium_profiles(
         sig = assignments[lo:hi]
         mask = sweep_pure_nash_mask(
             sig,
-            batch.weights, batch.capacities, batch.initial_traffic,
+            batch.weights,
+            batch.capacities,
+            batch.initial_traffic,
             tol=tol,
             # The campaign sweeps the same few (n, m) cells thousands of
             # times; the memoised one-hot block is shared with the
@@ -243,11 +243,7 @@ def batch_equilibrium_profiles(
     fm_probs = normalize_rows(fm.probabilities[fm_games])
 
     game_index = np.concatenate([pure_game, fm_games])
-    probabilities = (
-        np.concatenate([onehot, fm_probs])
-        if fm_games.size
-        else onehot
-    )
+    probabilities = np.concatenate([onehot, fm_probs]) if fm_games.size else onehot
     # Stable sort keeps each game's pure NE first, FMNE last — the
     # sequential evaluation order (irrelevant to the max-reductions
     # downstream, but it keeps differential tests straightforward).

@@ -144,9 +144,7 @@ def _support_structures(num_users: int, num_links: int) -> tuple[_SupportGroup, 
             for link in supp:
                 for k, supp_k in enumerate(supports):
                     if k != i and link in supp_k:
-                        bucket["aw"].append(
-                            (p, r * dim + p_index[(k, link)], k)
-                        )
+                        bucket["aw"].append((p, r * dim + p_index[(k, link)], k))
                 bucket["ac"].append((p, r * dim + num_p + i, i, link))
                 bucket["rw"].append((p, r, i, link))
                 r += 1
@@ -258,14 +256,10 @@ def batch_enumerate_mixed_nash(
     w = np.asarray(weights, dtype=np.float64)
     caps = np.asarray(capacities, dtype=np.float64)
     if caps.ndim != 3:
-        raise DimensionError(
-            f"capacities must have shape (B, n, m), got {caps.shape}"
-        )
+        raise DimensionError(f"capacities must have shape (B, n, m), got {caps.shape}")
     batch, n, m = caps.shape
     if w.shape != (batch, n):
-        raise DimensionError(
-            f"weights must have shape ({batch}, {n}), got {w.shape}"
-        )
+        raise DimensionError(f"weights must have shape ({batch}, {n}), got {w.shape}")
     if initial_traffic is None:
         t = np.zeros((batch, m))
     else:
@@ -283,9 +277,7 @@ def batch_enumerate_mixed_nash(
 
     # (profile index, once-normalised matrix, MixedProfile-normalised
     # matrix) per surviving candidate, per game.
-    found: list[list[tuple[int, np.ndarray, np.ndarray]]] = [
-        [] for _ in range(batch)
-    ]
+    found: list[list[tuple[int, np.ndarray, np.ndarray]]] = [[] for _ in range(batch)]
     for group in _support_structures(n, m):
         p_count, k = group.num_profiles, group.dim
         a = np.zeros((p_count, batch, k, k))
@@ -294,9 +286,7 @@ def batch_enumerate_mixed_nash(
         a_flat[group.ac_p, :, group.ac_rc] = -caps[:, group.ac_i, group.ac_l].T
         a_flat[group.a1_p, :, group.a1_rc] = 1.0
         rhs = np.zeros((p_count, batch, k))
-        rhs[group.rw_p, :, group.rw_r] = -(
-            w[:, group.rw_i] + t[:, group.rw_l]
-        ).T
+        rhs[group.rw_p, :, group.rw_r] = -(w[:, group.rw_i] + t[:, group.rw_l]).T
         rhs[group.r1_p, :, group.r1_r] = 1.0
 
         sol = _solve_stacked(
@@ -304,9 +294,7 @@ def batch_enumerate_mixed_nash(
         ).reshape(p_count, batch, k)
 
         good = np.isfinite(sol).all(axis=-1)
-        residual = np.linalg.norm(
-            np.matmul(a, sol[..., None])[..., 0] - rhs, axis=-1
-        )
+        residual = np.linalg.norm(np.matmul(a, sol[..., None])[..., 0] - rhs, axis=-1)
         rhs_norm = np.linalg.norm(rhs, axis=-1)
         good &= residual <= 1e-7 * np.maximum(1.0, rhs_norm)
 

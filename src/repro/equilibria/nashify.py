@@ -15,6 +15,11 @@ implements the corresponding procedure for this library's games:
   monotonicity guarantee (the subjective SC2 may transiently grow), so
   the function reports the before/after social costs and is used by the
   experiments to measure how much nashification costs under uncertainty.
+
+Both are the ``B = 1`` views of the lockstep kernels in
+:mod:`repro.batch.pure` — a single game is nashified by the same code
+path that advances a whole ``(B, n, m)`` stack, and the batched
+trajectories reproduce these per-game runs move for move.
 """
 
 from __future__ import annotations
@@ -23,13 +28,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import AlgorithmDomainError, ConvergenceError
+from repro.batch.container import GameBatch
+from repro.batch.pure import (
+    BatchNashifyResult,
+    batch_nashify,
+    batch_nashify_common_beliefs,
+)
+from repro.errors import AlgorithmDomainError
 from repro.model.game import UncertainRoutingGame
-from repro.model.latency import deviation_latencies
-from repro.model.profiles import AssignmentLike, PureProfile, as_assignment, loads_of
-from repro.model.social import social_costs_of_pure
-from repro.equilibria.best_response import best_response_dynamics
-from repro.equilibria.conditions import is_pure_nash
+from repro.model.profiles import AssignmentLike, PureProfile, as_assignment
 
 __all__ = ["NashifyResult", "nashify", "nashify_common_beliefs"]
 
@@ -55,11 +62,29 @@ class NashifyResult:
         )
 
 
-def _objective_congestion(game: UncertainRoutingGame, sigma: np.ndarray) -> float:
-    """Common-beliefs objective congestion ``max_l L_l / c^l``."""
-    caps = game.capacities[0]
-    loads = loads_of(sigma, game.weights, game.num_links, game.initial_traffic)
-    return float((loads / caps).max())
+def _as_batch_of_one(
+    game: UncertainRoutingGame, start: AssignmentLike
+) -> tuple[GameBatch, np.ndarray]:
+    sigma = as_assignment(start, game.num_users, game.num_links)
+    batch = GameBatch(
+        game.weights[None, :],
+        game.capacities[None, :, :],
+        initial_traffic=game.initial_traffic[None, :],
+    )
+    return batch, sigma[None, :]
+
+
+def _unpack(result: BatchNashifyResult, num_links: int) -> NashifyResult:
+    return NashifyResult(
+        profile=PureProfile(result.profiles[0], num_links),
+        steps=int(result.steps[0]),
+        sc1_before=float(result.sc1_before[0]),
+        sc1_after=float(result.sc1_after[0]),
+        sc2_before=float(result.sc2_before[0]),
+        sc2_after=float(result.sc2_after[0]),
+        max_congestion_before=float(result.max_congestion_before[0]),
+        max_congestion_after=float(result.max_congestion_after[0]),
+    )
 
 
 def nashify_common_beliefs(
@@ -75,52 +100,17 @@ def nashify_common_beliefs(
     (this can only lower the maximum), otherwise any defector (its target
     link stays below the current maximum, which is untouched). The
     weighted potential decreases on every move, so the procedure
-    terminates at a pure NE.
+    terminates at a pure NE. The ``B = 1`` view of
+    :func:`repro.batch.pure.batch_nashify_common_beliefs`.
     """
     if not game.has_common_beliefs():
         raise AlgorithmDomainError(
             "nashify_common_beliefs requires common beliefs; "
             "use nashify() for general games"
         )
-    sigma = as_assignment(start, game.num_users, game.num_links).copy()
-    caps = game.capacities[0]
-    sc1_before, sc2_before = social_costs_of_pure(game, sigma)
-    congestion_before = _objective_congestion(game, sigma)
-
-    steps = 0
-    while steps < max_steps:
-        dev = deviation_latencies(game, sigma)
-        current = dev[np.arange(game.num_users), sigma]
-        scale = np.maximum(current, 1.0)
-        movers = np.flatnonzero(dev.min(axis=1) < current - 1e-9 * scale)
-        if movers.size == 0:
-            break
-        loads = loads_of(sigma, game.weights, game.num_links, game.initial_traffic)
-        congestion = loads / caps
-        worst_links = np.flatnonzero(
-            congestion >= congestion.max() * (1 - 1e-12)
-        )
-        on_worst = movers[np.isin(sigma[movers], worst_links)]
-        user = int(on_worst[0]) if on_worst.size else int(movers[0])
-        sigma[user] = int(np.argmin(dev[user]))
-        steps += 1
-    else:
-        raise ConvergenceError(
-            f"nashification exceeded {max_steps} steps (weights n={game.num_users})"
-        )
-
-    profile = PureProfile(sigma, game.num_links)
-    sc1_after, sc2_after = social_costs_of_pure(game, profile)
-    return NashifyResult(
-        profile=profile,
-        steps=steps,
-        sc1_before=sc1_before,
-        sc1_after=sc1_after,
-        sc2_before=sc2_before,
-        sc2_after=sc2_after,
-        max_congestion_before=congestion_before,
-        max_congestion_after=_objective_congestion(game, profile.links),
-    )
+    batch, sigma = _as_batch_of_one(game, start)
+    result = batch_nashify_common_beliefs(batch, sigma, max_steps=max_steps)
+    return _unpack(result, game.num_links)
 
 
 def nashify(
@@ -135,33 +125,8 @@ def nashify(
     agree on, so no monotonicity guarantee exists; the result records the
     subjective SC1/SC2 and the *average-capacity* congestion before and
     after so experiments can quantify the gap to the classic guarantee.
+    The ``B = 1`` view of :func:`repro.batch.pure.batch_nashify`.
     """
-    sigma = as_assignment(start, game.num_users, game.num_links)
-    sc1_before, sc2_before = social_costs_of_pure(game, sigma)
-    # Without common beliefs, measure congestion against per-link mean
-    # effective capacities (a fixed observer).
-    mean_caps = game.capacities.mean(axis=0)
-    loads = loads_of(sigma, game.weights, game.num_links, game.initial_traffic)
-    congestion_before = float((loads / mean_caps).max())
-
-    result = best_response_dynamics(
-        game, sigma, schedule="max_regret", max_steps=max_steps,
-        raise_on_budget=True,
-    )
-    profile = result.profile
-    if not is_pure_nash(game, profile):  # pragma: no cover - defensive
-        raise ConvergenceError("dynamics stopped at a non-equilibrium")
-    sc1_after, sc2_after = social_costs_of_pure(game, profile)
-    loads_after = loads_of(
-        profile.links, game.weights, game.num_links, game.initial_traffic
-    )
-    return NashifyResult(
-        profile=profile,
-        steps=result.steps,
-        sc1_before=sc1_before,
-        sc1_after=sc1_after,
-        sc2_before=sc2_before,
-        sc2_after=sc2_after,
-        max_congestion_before=congestion_before,
-        max_congestion_after=float((loads_after / mean_caps).max()),
-    )
+    batch, sigma = _as_batch_of_one(game, start)
+    result = batch_nashify(batch, sigma, max_steps=max_steps)
+    return _unpack(result, game.num_links)

@@ -23,6 +23,13 @@ the KP-model) is a weighted potential game:
 which satisfies ``Phi(s') - Phi(s) = w_i (lambda_i(s') - lambda_i(s))``
 for a unilateral move of user ``i`` — so better-response dynamics always
 converge there.
+
+Every evaluator here is the ``B = 1`` view of a batched kernel in
+:mod:`repro.batch.pure`: the potentials and their one-move identity
+checks, the four-cycle gap (both the exhaustive enumeration and the
+sampled estimate, whose RNG stream is replayed draw for draw), and the
+small-game acyclicity test, which delegates to the stacked
+response-cycle census instead of materialising a graph object.
 """
 
 from __future__ import annotations
@@ -31,15 +38,22 @@ import itertools
 
 import numpy as np
 
+from repro.batch.container import GameBatch
+from repro.batch.pure import (
+    batch_four_cycle_gaps,
+    batch_ordinal_potential_symmetric,
+    batch_response_cycle_census,
+    batch_sampled_cycle_gaps,
+    batch_verify_ordinal_potential_symmetric,
+    batch_verify_weighted_potential,
+    batch_weighted_potential,
+    _four_cycle_inputs,
+)
 from repro.errors import AlgorithmDomainError
 from repro.model.game import UncertainRoutingGame
-from repro.model.latency import pure_latency_of_user
-from repro.model.profiles import AssignmentLike, as_assignment, loads_of
-from repro.equilibria.game_graph import (
-    MAX_GRAPH_STATES,
-    better_response_graph,
-    find_response_cycle,
-)
+from repro.model.profiles import AssignmentLike, as_assignment
+from repro.model.social import enumerate_assignments
+from repro.equilibria.game_graph import MAX_GRAPH_STATES
 from repro.equilibria.best_response import better_response_dynamics
 from repro.util.rng import RandomState, as_generator
 
@@ -53,28 +67,50 @@ __all__ = [
 ]
 
 
-def _four_cycle_gap(
-    game: UncertainRoutingGame,
-    base: np.ndarray,
-    i: int,
-    j: int,
-    links_i: tuple[int, int],
-    links_j: tuple[int, int],
-) -> float:
-    """Net deviator cost change around one two-player four-cycle."""
-    a, a2 = links_i
-    b, b2 = links_j
-    sigma = base.copy()
-    sigma[i], sigma[j] = a, b
+def _batch_of_one(game: UncertainRoutingGame) -> GameBatch:
+    return GameBatch(
+        game.weights[None, :],
+        game.capacities[None, :, :],
+        initial_traffic=game.initial_traffic[None, :],
+    )
 
-    total = 0.0
-    # move order: i: a->a2, j: b->b2, i: a2->a, j: b2->b
-    for user, new_link in ((i, a2), (j, b2), (i, a), (j, b)):
-        before = pure_latency_of_user(game, sigma, user)
-        sigma[user] = new_link
-        after = pure_latency_of_user(game, sigma, user)
-        total += after - before
-    return total
+
+def _exhaustive_cycle_blocks(
+    num_users: int, num_links: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """All two-player four-cycles: (pairs, bases, links_i, links_j) rows.
+
+    Enumerates every unordered user pair, every assignment of the
+    remaining users, and every ordered link pair for each mover — the
+    same cycle set the sequential loop visited (order is irrelevant: the
+    caller reduces with ``max``).
+    """
+    n, m = num_users, num_links
+    link_pairs = np.array(
+        list(itertools.permutations(range(m), 2)), dtype=np.intp
+    )
+    lp = link_pairs.shape[0]
+    pair_rows = []
+    base_rows = []
+    for i, j in itertools.combinations(range(n), 2):
+        rest = [u for u in range(n) if u not in (i, j)]
+        if rest:
+            rest_assignments = enumerate_assignments(len(rest), m)
+        else:
+            rest_assignments = np.zeros((1, 0), dtype=np.intp)
+        bases = np.zeros((rest_assignments.shape[0], n), dtype=np.intp)
+        bases[:, rest] = rest_assignments
+        base_rows.append(bases)
+        pair_rows.append(np.broadcast_to([i, j], (bases.shape[0], 2)))
+    pairs = np.concatenate(pair_rows)
+    bases = np.concatenate(base_rows)
+    r = pairs.shape[0]
+    # Cross every (pair, base) row with every (li, lj) combination.
+    pairs = np.repeat(pairs, lp * lp, axis=0)
+    bases = np.repeat(bases, lp * lp, axis=0)
+    links_i = np.tile(np.repeat(link_pairs, lp, axis=0), (r, 1))
+    links_j = np.tile(np.tile(link_pairs, (lp, 1)), (r, 1))
+    return pairs, bases, links_i, links_j
 
 
 def exact_potential_cycle_gap(
@@ -88,43 +124,37 @@ def exact_potential_cycle_gap(
     Zero for every 4-cycle iff the game admits an exact potential
     (Monderer & Shapley 1996, Thm 2.8). With ``num_samples=None`` and a
     small game, all 4-cycles are enumerated; otherwise *num_samples*
-    random cycles are evaluated.
+    random cycles are evaluated. Either way the cycles are walked by the
+    batched evaluator :func:`repro.batch.pure.batch_four_cycle_gaps` in
+    one vectorised pass.
     """
     n, m = game.num_users, game.num_links
     pairs = list(itertools.combinations(range(n), 2))
     link_pairs = list(itertools.permutations(range(m), 2))
     exhaustive_count = len(pairs) * len(link_pairs) ** 2 * m ** max(n - 2, 0)
 
-    worst = 0.0
+    batch = _batch_of_one(game)
     if num_samples is None and exhaustive_count <= 200_000:
-        others = [u for u in range(n)]
-        from repro.model.social import enumerate_assignments
+        pair_arr, bases, links_i, links_j = _exhaustive_cycle_blocks(n, m)
+        sigma0, move_users, move_links = _four_cycle_inputs(
+            pair_arr, bases, links_i, links_j
+        )
+        gaps = batch_four_cycle_gaps(
+            batch.weights,
+            batch.capacities,
+            batch.initial_traffic,
+            np.zeros(sigma0.shape[0], dtype=np.intp),
+            sigma0,
+            move_users,
+            move_links,
+        )
+        return float(np.abs(gaps).max(initial=0.0))
 
-        for i, j in pairs:
-            rest = [u for u in others if u not in (i, j)]
-            if rest:
-                rest_assignments = enumerate_assignments(len(rest), m)
-            else:
-                rest_assignments = np.zeros((1, 0), dtype=np.intp)
-            for rest_row in rest_assignments:
-                base = np.zeros(n, dtype=np.intp)
-                base[rest] = rest_row
-                for li in link_pairs:
-                    for lj in link_pairs:
-                        gap = _four_cycle_gap(game, base, i, j, li, lj)
-                        worst = max(worst, abs(gap))
-        return worst
-
-    rng = as_generator(seed)
     samples = 1_000 if num_samples is None else int(num_samples)
-    for _ in range(samples):
-        i, j = rng.choice(n, size=2, replace=False)
-        base = rng.integers(0, m, size=n).astype(np.intp)
-        li = tuple(rng.choice(m, size=2, replace=False))
-        lj = tuple(rng.choice(m, size=2, replace=False))
-        gap = _four_cycle_gap(game, base, int(i), int(j), li, lj)
-        worst = max(worst, abs(gap))
-    return worst
+    worst = batch_sampled_cycle_gaps(
+        batch, [as_generator(seed)], num_samples=samples
+    )
+    return float(worst[0])
 
 
 def has_better_response_cycle(
@@ -135,14 +165,16 @@ def has_better_response_cycle(
 ) -> bool:
     """Search for a better-response (improvement) cycle.
 
-    Small games get the exact graph-acyclicity test; larger games are
-    probed with deterministic better-response trajectories from random
-    starts, whose revisits certify cycles (a ``False`` is then only
-    "none found").
+    Small games get the exact census (the ``B = 1`` view of
+    :func:`repro.batch.pure.batch_response_cycle_census`); larger games
+    are probed with deterministic better-response trajectories from
+    random starts, whose revisits certify cycles (a ``False`` is then
+    only "none found").
     """
     if game.num_links**game.num_users <= MAX_GRAPH_STATES:
-        graph = better_response_graph(game)
-        return find_response_cycle(graph) is not None
+        return bool(
+            batch_response_cycle_census(_batch_of_one(game), kind="better")[0]
+        )
     rng = as_generator(seed)
     for _ in range(restarts):
         start = rng.integers(0, game.num_links, size=game.num_users)
@@ -163,7 +195,8 @@ def weighted_potential_common_beliefs(
     ``L_l`` the full load (initial traffic included). A unilateral move of
     user ``i`` changes ``Phi`` by exactly ``w_i`` times the user's latency
     change, so ``Phi`` orders improvement paths and the restricted model
-    always has pure NE.
+    always has pure NE. The ``B = 1`` view of
+    :func:`repro.batch.pure.batch_weighted_potential`.
     """
     if not game.has_common_beliefs():
         raise AlgorithmDomainError(
@@ -171,11 +204,7 @@ def weighted_potential_common_beliefs(
             "(all users sharing one effective-capacity row)"
         )
     sigma = as_assignment(assignment, game.num_users, game.num_links)
-    w = game.weights
-    caps = game.capacities[0]  # common row
-    loads = loads_of(sigma, w, game.num_links, game.initial_traffic)
-    own = np.bincount(sigma, weights=w**2, minlength=game.num_links)
-    return float(((loads**2 + own) / (2.0 * caps)).sum())
+    return float(batch_weighted_potential(_batch_of_one(game), sigma[None, :])[0])
 
 
 def ordinal_potential_symmetric(
@@ -200,23 +229,18 @@ def ordinal_potential_symmetric(
     improvement cycle (Section 3.2) necessarily involves *unequal*
     weights.
 
-    Requires zero initial traffic (loads must be pure counts).
+    Requires zero initial traffic (loads must be pure counts). The
+    ``B = 1`` view of
+    :func:`repro.batch.pure.batch_ordinal_potential_symmetric`.
     """
-    from scipy.special import gammaln
-
     if not game.has_symmetric_users():
         raise AlgorithmDomainError(
             "the ordinal potential requires symmetric users (equal weights)"
         )
-    if np.any(game.initial_traffic > 0):
-        raise AlgorithmDomainError(
-            "the ordinal potential requires zero initial traffic"
-        )
     sigma = as_assignment(assignment, game.num_users, game.num_links)
-    counts = np.bincount(sigma, minlength=game.num_links)
-    log_factorials = float(gammaln(counts + 1.0).sum())
-    users = np.arange(game.num_users)
-    return log_factorials - float(np.log(game.capacities[users, sigma]).sum())
+    return float(
+        batch_ordinal_potential_symmetric(_batch_of_one(game), sigma[None, :])[0]
+    )
 
 
 def verify_ordinal_potential_symmetric(
@@ -228,16 +252,19 @@ def verify_ordinal_potential_symmetric(
     rtol: float = 1e-9,
 ) -> bool:
     """Check ``Delta Phi = log lambda_after - log lambda_before`` for one move."""
-    sigma = as_assignment(assignment, game.num_users, game.num_links).copy()
-    phi_before = ordinal_potential_symmetric(game, sigma)
-    lat_before = pure_latency_of_user(game, sigma, user)
-    sigma[user] = new_link
-    phi_after = ordinal_potential_symmetric(game, sigma)
-    lat_after = pure_latency_of_user(game, sigma, user)
-    lhs = phi_after - phi_before
-    rhs = np.log(lat_after) - np.log(lat_before)
-    scale = max(abs(lhs), abs(rhs), 1.0)
-    return abs(lhs - rhs) <= rtol * scale
+    sigma = as_assignment(assignment, game.num_users, game.num_links)
+    if not game.has_symmetric_users():
+        raise AlgorithmDomainError(
+            "the ordinal potential requires symmetric users (equal weights)"
+        )
+    verdict = batch_verify_ordinal_potential_symmetric(
+        _batch_of_one(game),
+        sigma[None, :],
+        np.asarray([user], dtype=np.intp),
+        np.asarray([new_link], dtype=np.intp),
+        rtol=rtol,
+    )
+    return bool(verdict[0])
 
 
 def verify_weighted_potential(
@@ -249,13 +276,17 @@ def verify_weighted_potential(
     rtol: float = 1e-9,
 ) -> bool:
     """Check ``Delta Phi = w_i * Delta lambda_i`` for one unilateral move."""
-    sigma = as_assignment(assignment, game.num_users, game.num_links).copy()
-    phi_before = weighted_potential_common_beliefs(game, sigma)
-    lat_before = pure_latency_of_user(game, sigma, user)
-    sigma[user] = new_link
-    phi_after = weighted_potential_common_beliefs(game, sigma)
-    lat_after = pure_latency_of_user(game, sigma, user)
-    lhs = phi_after - phi_before
-    rhs = game.weights[user] * (lat_after - lat_before)
-    scale = max(abs(lhs), abs(rhs), 1.0)
-    return abs(lhs - rhs) <= rtol * scale
+    if not game.has_common_beliefs():
+        raise AlgorithmDomainError(
+            "the weighted potential requires common beliefs "
+            "(all users sharing one effective-capacity row)"
+        )
+    sigma = as_assignment(assignment, game.num_users, game.num_links)
+    verdict = batch_verify_weighted_potential(
+        _batch_of_one(game),
+        sigma[None, :],
+        np.asarray([user], dtype=np.intp),
+        np.asarray([new_link], dtype=np.intp),
+        rtol=rtol,
+    )
+    return bool(verdict[0])

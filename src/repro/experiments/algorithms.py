@@ -11,6 +11,14 @@ Execution model: each correctness sweep is declared as a
 campaign runtime (chunking, ``jobs`` fan-out, checkpoint/resume); the
 complexity fits of E1-E3 are timing measurements and therefore run
 outside the seeded sweep (they are re-measured, never resumed).
+
+Each chunk is one whole-stack batch computation: the chunk's seeds
+become a :class:`~repro.batch.container.GameBatch` via the bit-parity
+generators, the paper's algorithm runs in lockstep over the stack
+(:mod:`repro.batch.pure`), and a single batched Nash mask (E1-E3) or
+the stacked PNE/cycle census (E4) grades every instance at once.
+Results are pinned bit-identical to the pre-batch per-game loops by
+``tests/data/pure_seed_baseline.json``.
 """
 
 from __future__ import annotations
@@ -19,19 +27,15 @@ from pathlib import Path
 from typing import Union
 
 from repro.analysis.scaling import THEORETICAL_EXPONENTS, measure_scaling
-from repro.equilibria.conditions import is_pure_nash
-from repro.equilibria.enumeration import count_pure_nash
-from repro.equilibria.game_graph import best_response_graph, find_response_cycle
-from repro.equilibria.symmetric import asymmetric
-from repro.equilibria.two_links import atwolinks
-from repro.equilibria.uniform import auniform
-from repro.experiments.base import ExperimentResult
-from repro.generators.games import (
-    random_game,
-    random_symmetric_game,
-    random_two_link_game,
-    random_uniform_beliefs_game,
+from repro.batch.container import GameBatch
+from repro.batch.kernels import batch_count_pure_nash, batch_pure_nash_mask
+from repro.batch.pure import (
+    batch_asymmetric,
+    batch_atwolinks,
+    batch_auniform,
+    batch_response_cycle_census,
 )
+from repro.experiments.base import ExperimentResult
 from repro.generators.suites import GridCell
 from repro.runtime import ResultStore, SweepSpec, run_sweep
 from repro.util.parallel import ReplicationChunk
@@ -50,51 +54,47 @@ def _correctness_table(title: str) -> Table:
     )
 
 
+def _solved_count(batch: GameBatch, profiles) -> int:
+    """How many of the stack's computed profiles are pure NE."""
+    mask = batch_pure_nash_mask(
+        profiles, batch.weights, batch.capacities, batch.initial_traffic
+    )
+    return int(mask.sum())
+
+
 def _examine_e1_chunk(chunk: ReplicationChunk) -> int:
     """How many of the chunk's two-link games Atwolinks solves to a NE."""
-    ok = 0
-    for seed in chunk.seeds():
-        game = random_two_link_game(
-            chunk.num_users, with_initial_traffic=True, seed=seed
-        )
-        if is_pure_nash(game, atwolinks(game)):
-            ok += 1
-    return ok
+    batch = GameBatch.from_seeds(
+        chunk.seeds(), chunk.num_users, chunk.num_links,
+        with_initial_traffic=True,
+    )
+    return _solved_count(batch, batch_atwolinks(batch))
 
 
 def _examine_e2_chunk(chunk: ReplicationChunk) -> int:
     """How many of the chunk's symmetric games Asymmetric solves."""
-    ok = 0
-    for seed in chunk.seeds():
-        game = random_symmetric_game(chunk.num_users, chunk.num_links, seed=seed)
-        if is_pure_nash(game, asymmetric(game)):
-            ok += 1
-    return ok
+    batch = GameBatch.from_seeds_symmetric(
+        chunk.seeds(), chunk.num_users, chunk.num_links
+    )
+    return _solved_count(batch, batch_asymmetric(batch))
 
 
 def _examine_e3_chunk(chunk: ReplicationChunk) -> int:
     """How many of the chunk's uniform-beliefs games Auniform solves."""
-    ok = 0
-    for seed in chunk.seeds():
-        game = random_uniform_beliefs_game(
-            chunk.num_users, chunk.num_links, with_initial_traffic=True, seed=seed
-        )
-        if is_pure_nash(game, auniform(game)):
-            ok += 1
-    return ok
+    batch = GameBatch.from_seeds_uniform_beliefs(
+        chunk.seeds(), chunk.num_users, chunk.num_links,
+        with_initial_traffic=True,
+    )
+    return _solved_count(batch, batch_auniform(batch))
 
 
 def _examine_e4_chunk(chunk: ReplicationChunk) -> tuple[int, int]:
     """(games with a pure NE, best-response-graph cycles) for one chunk."""
-    with_pne = 0
-    cycles = 0
-    for seed in chunk.seeds():
-        game = random_game(chunk.num_users, chunk.num_links, seed=seed)
-        if count_pure_nash(game) > 0:
-            with_pne += 1
-        graph = best_response_graph(game)
-        if find_response_cycle(graph) is not None:
-            cycles += 1
+    batch = GameBatch.from_seeds(
+        chunk.seeds(), chunk.num_users, chunk.num_links
+    )
+    with_pne = int((batch_count_pure_nash(batch) > 0).sum())
+    cycles = int(batch_response_cycle_census(batch, kind="best").sum())
     return with_pne, cycles
 
 

@@ -13,8 +13,13 @@ Execution model: E5 delegates to
 its spec through the shared campaign runtime; E6 declares three small
 sweeps of its own (the exact-potential gap sample, the weighted- and
 the ordinal-potential identity checks), each with a distinct seed label
-so their store keys and streams cannot collide. The cycle realisability
-search is an exact, unseeded computation and runs outside the sweeps.
+so their store keys and streams cannot collide. Each E6 chunk stacks
+its instances into one :class:`~repro.batch.container.GameBatch` and
+grades them with the batched potential kernels of
+:mod:`repro.batch.pure` (per-instance RNG streams replayed draw for
+draw, results pinned by ``tests/data/pure_seed_baseline.json``). The
+cycle realisability search is an exact, unseeded computation and runs
+outside the sweeps.
 """
 
 from __future__ import annotations
@@ -22,22 +27,20 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Union
 
+import numpy as np
+
 from repro.analysis.conjecture import (
     conjecture_sweep_spec,
     run_conjecture_campaign,
 )
 from repro.analysis.cycles import search_improvement_cycle_instance
-from repro.equilibria.potential import (
-    exact_potential_cycle_gap,
-    verify_ordinal_potential_symmetric,
-    verify_weighted_potential,
+from repro.batch.container import GameBatch
+from repro.batch.pure import (
+    batch_sampled_cycle_gaps,
+    batch_verify_ordinal_potential_symmetric,
+    batch_verify_weighted_potential,
 )
 from repro.experiments.base import ExperimentResult
-from repro.generators.games import (
-    random_game,
-    random_kp_game,
-    random_symmetric_game,
-)
 from repro.generators.suites import (
     GridCell,
     conjecture_grid,
@@ -94,49 +97,55 @@ def run_e5(
     )
 
 
-def _probe_move(chunk: ReplicationChunk, game, seed: int):
-    """A reproducible (profile, user, new link) probe for one instance.
+def _probe_moves(chunk: ReplicationChunk, seeds: list[int]):
+    """Reproducible (profiles, users, new links) probes, one per instance.
 
-    The probe stream is derived from the chunk label and the instance
+    Each probe stream is derived from the chunk label and the instance
     seed, so every replication is reproducible in isolation — no draw
     depends on loop ordering or on how many replications ran before it.
     """
-    draw = as_generator(stable_seed(chunk.label, "probe", seed))
-    sigma = draw.integers(0, game.num_links, size=game.num_users)
-    user = int(draw.integers(game.num_users))
-    new_link = int(draw.integers(game.num_links))
-    return sigma, user, new_link
+    n, m = chunk.num_users, chunk.num_links
+    sigma = np.empty((len(seeds), n), dtype=np.intp)
+    users = np.empty(len(seeds), dtype=np.intp)
+    new_links = np.empty(len(seeds), dtype=np.intp)
+    for k, seed in enumerate(seeds):
+        draw = as_generator(stable_seed(chunk.label, "probe", seed))
+        sigma[k] = draw.integers(0, m, size=n)
+        users[k] = int(draw.integers(n))
+        new_links[k] = int(draw.integers(m))
+    return sigma, users, new_links
 
 
 def _examine_e6_gap_chunk(chunk: ReplicationChunk) -> list[float]:
     """Exact-potential 4-cycle gaps for the chunk's general games."""
-    gaps = []
-    for seed in chunk.seeds():
-        game = random_game(chunk.num_users, chunk.num_links, seed=seed)
-        gaps.append(
-            float(exact_potential_cycle_gap(game, num_samples=200, seed=seed))
-        )
-    return gaps
+    seeds = chunk.seeds()
+    batch = GameBatch.from_seeds(seeds, chunk.num_users, chunk.num_links)
+    worst = batch_sampled_cycle_gaps(batch, seeds, num_samples=200)
+    return [float(g) for g in worst]
 
 
 def _examine_e6_kp_chunk(chunk: ReplicationChunk) -> bool:
     """Weighted-potential identity verdict over the chunk's KP games."""
-    ok = True
-    for seed in chunk.seeds():
-        game = random_kp_game(chunk.num_users, chunk.num_links, seed=seed)
-        sigma, user, new_link = _probe_move(chunk, game, seed)
-        ok = ok and verify_weighted_potential(game, sigma, user, new_link)
-    return bool(ok)
+    seeds = chunk.seeds()
+    batch = GameBatch.from_seeds_kp(seeds, chunk.num_users, chunk.num_links)
+    sigma, users, new_links = _probe_moves(chunk, seeds)
+    return bool(
+        batch_verify_weighted_potential(batch, sigma, users, new_links).all()
+    )
 
 
 def _examine_e6_sym_chunk(chunk: ReplicationChunk) -> bool:
     """Ordinal-potential identity verdict over the chunk's symmetric games."""
-    ok = True
-    for seed in chunk.seeds():
-        game = random_symmetric_game(chunk.num_users, chunk.num_links, seed=seed)
-        sigma, user, new_link = _probe_move(chunk, game, seed)
-        ok = ok and verify_ordinal_potential_symmetric(game, sigma, user, new_link)
-    return bool(ok)
+    seeds = chunk.seeds()
+    batch = GameBatch.from_seeds_symmetric(
+        seeds, chunk.num_users, chunk.num_links
+    )
+    sigma, users, new_links = _probe_moves(chunk, seeds)
+    return bool(
+        batch_verify_ordinal_potential_symmetric(
+            batch, sigma, users, new_links
+        ).all()
+    )
 
 
 def e6_specs(*, quick: bool = False) -> tuple[SweepSpec, ...]:

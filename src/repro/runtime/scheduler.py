@@ -94,8 +94,6 @@ def run_sweep(
         their stored payloads instead of recomputing.
     """
     store = ResultStore.coerce(store)
-    if resume and store is None:
-        raise ValueError("resume=True requires a result store")
     label = spec.seeded_label(seed)
     chunks, cell_of_chunk = spec.chunks(batch_size=batch_size, seed=seed)
 
@@ -103,11 +101,18 @@ def run_sweep(
     done: list[bool] = [False] * len(chunks)
     resumed = 0
     if resume:
+        if store is None:
+            raise ValueError("resume=True requires a result store")
+        store.repair_tail()
         stored = store.load_payloads()
         for i, chunk in enumerate(chunks):
             key = (
-                spec.experiment, label, chunk.num_users, chunk.num_links,
-                chunk.rep_lo, chunk.rep_hi,
+                spec.experiment,
+                label,
+                chunk.num_users,
+                chunk.num_links,
+                chunk.rep_lo,
+                chunk.rep_hi,
             )
             if key in stored:
                 payloads[i] = stored[key]

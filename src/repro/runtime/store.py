@@ -96,8 +96,8 @@ class ResultStore:
                 payloads[key] = record["payload"]
         return payloads
 
-    def _repair_tail(self) -> None:
-        """Heal a kill-truncated final line before appending.
+    def repair_tail(self) -> None:
+        """Heal a kill-truncated final line.
 
         A run killed mid-write leaves a final line without a trailing
         newline. Appending straight after it would glue the new record
@@ -107,6 +107,12 @@ class ResultStore:
         otherwise drop the fragment so the chunk's recomputed record
         lands on a clean line — which also restores the byte-identity of
         a resumed store with an uninterrupted run.
+
+        Called before every append, and by the scheduler at the start of
+        a resume: a kill that lands exactly between the final record and
+        its newline leaves a fully-parseable store whose resume computes
+        (and therefore appends) nothing, so the missing terminator must
+        be healed up front, not lazily on the next write.
         """
         try:
             fh = self.path.open("r+b")
@@ -123,7 +129,7 @@ class ResultStore:
             fh.seek(0)
             data = fh.read()
             newline_at = data.rfind(b"\n")
-            tail = data[newline_at + 1:]
+            tail = data[newline_at + 1 :]
             try:
                 self.record_key(json.loads(tail.decode("utf-8")))
             except (json.JSONDecodeError, KeyError, TypeError,
@@ -137,7 +143,7 @@ class ResultStore:
         self.record_key(record)  # validate shape before touching disk
         if self.path.parent and not self.path.parent.exists():
             self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._repair_tail()
+        self.repair_tail()
         line = json.dumps(record, sort_keys=True, allow_nan=False)
         with self.path.open("a", encoding="utf-8") as fh:
             fh.write(line + "\n")

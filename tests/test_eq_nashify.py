@@ -5,7 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import AlgorithmDomainError
+from repro.batch.container import GameBatch
+from repro.batch.pure import batch_nashify_common_beliefs
+from repro.errors import AlgorithmDomainError, ConvergenceError
 from repro.model.game import UncertainRoutingGame
 from repro.equilibria.conditions import is_pure_nash
 from repro.equilibria.nashify import nashify, nashify_common_beliefs
@@ -51,6 +53,69 @@ class TestCommonBeliefs:
         result = nashify_common_beliefs(game, [1, 1, 1, 1])
         assert result.max_congestion_after < result.max_congestion_before
         assert is_pure_nash(game, result.profile)
+
+
+class TestEdgeCases:
+    def test_already_nash_start_zero_steps_everywhere(self):
+        """An equilibrium start must be returned untouched — single game
+        and whole stacks alike — with identical before/after records."""
+        from repro.substrates.kp import kp_greedy_nash
+
+        games = [random_kp_game(5, 3, seed=200 + s) for s in range(6)]
+        starts = np.stack(
+            [np.asarray(kp_greedy_nash(g).links) for g in games]
+        )
+        result = batch_nashify_common_beliefs(GameBatch.from_games(games), starts)
+        assert np.all(result.steps == 0)
+        assert np.array_equal(result.profiles, starts)
+        assert np.array_equal(result.sc1_before, result.sc1_after)
+        assert np.array_equal(result.sc2_before, result.sc2_after)
+        assert np.array_equal(
+            result.max_congestion_before, result.max_congestion_after
+        )
+
+    def test_minimal_two_user_two_link_game(self):
+        """The smallest legal instance: both users piled on one link of a
+        lopsided network must split."""
+        game = UncertainRoutingGame.kp([1.0, 1.0], [10.0, 0.1])
+        result = nashify_common_beliefs(game, [1, 1])
+        assert is_pure_nash(game, result.profile)
+        assert result.preserved_max_congestion
+        # The fast link must carry at least one user afterwards.
+        assert 0 in list(result.profile.links)
+
+    def test_tiny_step_cap_raises_convergence_error(self):
+        """A start needing more moves than the cap must raise — never
+        silently return a non-equilibrium."""
+        game = UncertainRoutingGame.kp(
+            [1.0, 1.0, 1.0, 1.0, 1.0], [4.0, 2.0, 1.0]
+        )
+        with pytest.raises(ConvergenceError):
+            nashify_common_beliefs(game, [2, 2, 2, 2, 2], max_steps=1)
+        with pytest.raises(ConvergenceError):
+            nashify(game, [2, 2, 2, 2, 2], max_steps=1)
+
+    def test_tiny_step_cap_raises_for_stacks(self):
+        """The lockstep engine applies the same per-game budget: one
+        unconverged slice fails the whole call loudly."""
+        seeds = list(range(4))
+        batch = GameBatch.from_seeds_kp(seeds, 6, 3)
+        starts = np.full((4, 6), 2, dtype=np.intp)
+        with pytest.raises(ConvergenceError):
+            batch_nashify_common_beliefs(batch, starts, max_steps=1)
+
+    def test_exact_budget_still_requires_equilibrium_check(self):
+        """Converging on the very last allowed move still raises, because
+        the mover-free check never ran — the sequential loop's exact
+        budget semantics, preserved by the batch engine."""
+        game = UncertainRoutingGame.kp([1.0, 1.0], [10.0, 0.1])
+        needed = nashify_common_beliefs(game, [1, 1]).steps
+        assert needed > 0
+        with pytest.raises(ConvergenceError):
+            nashify_common_beliefs(game, [1, 1], max_steps=needed)
+        # One extra step of headroom admits the convergence check.
+        ok = nashify_common_beliefs(game, [1, 1], max_steps=needed + 1)
+        assert ok.steps == needed
 
 
 class TestGeneralNashify:
