@@ -120,6 +120,47 @@ class GameBatch:
         )
 
     @classmethod
+    def from_requests(
+        cls, requests: Sequence
+    ) -> "list[tuple[GameBatch, list[int]]]":
+        """Stack heterogeneous-shape requests into per-shape sub-batches.
+
+        *requests* is any sequence of objects exposing ``weights``
+        ``(n,)``, ``capacities`` ``(n, m)`` and ``initial_traffic``
+        ``(m,)`` arrays — service queries, games, or other batches'
+        slices; shapes may differ between requests. Returns
+        ``[(batch, indices), ...]`` where each batch stacks all the
+        requests of one ``(n, m)`` shape (in arrival order) and
+        ``indices`` maps its rows back to positions in *requests* —
+        the grouping the service's dynamic batcher feeds to the
+        ``(B, n, m)`` kernels, with groups emitted in first-appearance
+        order so the split is deterministic.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        groups: dict[tuple[int, int], list[int]] = {}
+        for index, request in enumerate(requests):
+            caps = np.asarray(request.capacities, dtype=np.float64)
+            if caps.ndim != 2:
+                raise DimensionError(
+                    f"request {index} capacities must be (n, m), "
+                    f"got shape {caps.shape}"
+                )
+            groups.setdefault(caps.shape, []).append(index)
+        out: list[tuple[GameBatch, list[int]]] = []
+        for indices in groups.values():
+            batch = cls(
+                np.stack([requests[i].weights for i in indices]),
+                np.stack([requests[i].capacities for i in indices]),
+                initial_traffic=np.stack(
+                    [requests[i].initial_traffic for i in indices]
+                ),
+            )
+            out.append((batch, indices))
+        return out
+
+    @classmethod
     def from_seeds(
         cls,
         seeds: Sequence[int],

@@ -6,6 +6,9 @@ Subcommands:
 * ``run E5 [E7 ...]``    — run experiments by id (``all`` for everything;
   duplicates are collapsed, first occurrence wins);
 * ``report``             — run experiments and write EXPERIMENTS.md;
+* ``serve``              — the equilibrium query service (JSON lines
+  over TCP, dynamic batching, content-addressed cache; see
+  :mod:`repro.service`);
 * ``--quick``            — reduced replication counts for smoke runs;
 * ``--jobs/--batch-size``— process-pool fan-out for the campaign runtime;
 * ``--seed``             — global seed override threaded through the
@@ -137,6 +140,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--ids", nargs="*", default=None, help="subset of experiment ids"
     )
     _add_runtime_flags(report_p)
+
+    serve_p = sub.add_parser(
+        "serve", help="serve equilibrium queries (JSON lines over TCP)"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_p.add_argument(
+        "--port",
+        type=_non_negative_int,
+        default=8571,
+        help="TCP port (0 picks a free one)",
+    )
+    serve_p.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=64,
+        help="flush the pending window at this many distinct games",
+    )
+    serve_p.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        help="flush the pending window after this many milliseconds "
+             "even if it is not full",
+    )
+    serve_p.add_argument(
+        "--cache-size",
+        type=_non_negative_int,
+        default=1024,
+        help="content-addressed response cache entries (0 disables)",
+    )
     return parser
 
 
@@ -190,11 +223,54 @@ def _cmd_report(
     return 0 if run.all_passed else 1
 
 
+def _cmd_serve(
+    host: str, port: int, max_batch: int, max_delay_ms: float, cache_size: int
+) -> int:
+    import asyncio
+
+    from repro.service.server import EquilibriumServer
+
+    async def run() -> int:
+        server = EquilibriumServer(
+            host,
+            port,
+            max_batch=max_batch,
+            max_delay_ms=max_delay_ms,
+            cache_size=cache_size,
+        )
+        await server.start()
+        # The readiness line supervisors (and the CI smoke job) wait on.
+        print(
+            f"serving equilibria on {server.host}:{server.port} "
+            f"(max_batch={max_batch}, max_delay_ms={max_delay_ms}, "
+            f"cache_size={cache_size})",
+            flush=True,
+        )
+        try:
+            await server.serve_until_shutdown()
+        finally:
+            await server.close()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "serve":
+        return _cmd_serve(
+            args.host,
+            args.port,
+            args.max_batch,
+            args.max_delay_ms,
+            args.cache_size,
+        )
     if args.resume and not args.store:
         parser.error("--resume requires --store")
     if args.command == "run":

@@ -20,12 +20,19 @@ delegates execution here; the CLI's ``--jobs``/``--batch-size``/
 
 from repro.runtime.scheduler import SweepResult, run_sweep
 from repro.runtime.spec import SweepSpec
-from repro.runtime.store import ResultStore, canonical_payload
+from repro.runtime.store import (
+    ResultStore,
+    canonical_dumps,
+    canonical_loads,
+    canonical_payload,
+)
 
 __all__ = [
     "SweepSpec",
     "SweepResult",
     "ResultStore",
+    "canonical_dumps",
+    "canonical_loads",
     "canonical_payload",
     "run_sweep",
 ]

@@ -18,22 +18,93 @@ line sequence — resuming appends the missing suffix and the final file
 is byte-identical to an uninterrupted run with the same flags.
 
 Payloads are canonicalised through one JSON round trip before they are
-aggregated or written (tuples become lists, NaN is rejected), so fresh
-and resumed runs aggregate exactly the same objects. JSON floats use
-``repr`` shortest round-trip formatting, which is lossless for float64 —
-bit-identical results serialise to identical lines.
+aggregated or written (tuples become lists), so fresh and resumed runs
+aggregate exactly the same objects. JSON floats use ``repr`` shortest
+round-trip formatting, which is lossless for float64 — bit-identical
+results serialise to identical lines.
+
+Non-finite floats (``inf``/``-inf``/``nan`` — e.g. a degenerate
+worst-case PoA ratio) are not valid JSON, and the historical
+``allow_nan=False`` strictness made them crash mid-campaign *after*
+earlier chunks were already appended. They are now encoded as an
+explicit sentinel object ``{"__nonfinite__": "inf" | "-inf" | "nan"}``
+on write and decoded back to the float on read, so a payload survives
+the round trip with its non-finite values intact and the encoded form
+stays deterministic (byte-identity of resumed stores included). The
+sentinel key is reserved: a payload dict that already uses it is
+rejected before anything touches disk.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any, Union
 
-__all__ = ["ResultStore", "StoreKey", "canonical_payload"]
+__all__ = [
+    "ResultStore",
+    "StoreKey",
+    "canonical_dumps",
+    "canonical_loads",
+    "canonical_payload",
+]
 
 #: (experiment, label, n, m, rep_lo, rep_hi)
 StoreKey = tuple[str, str, int, int, int, int]
+
+#: Reserved marker for JSON-unrepresentable floats.
+NONFINITE_KEY = "__nonfinite__"
+
+_ENCODE = {math.inf: "inf", -math.inf: "-inf"}
+_DECODE = {"inf": math.inf, "-inf": -math.inf, "nan": math.nan}
+
+
+def _encode_nonfinite(obj: Any) -> Any:
+    """Replace non-finite floats with sentinel objects, recursively.
+
+    Returns *obj* itself wherever nothing needed rewriting, so the
+    common all-finite payload costs one traversal and no copies.
+    """
+    if isinstance(obj, float):
+        if math.isfinite(obj):
+            return obj
+        return {NONFINITE_KEY: "nan" if math.isnan(obj) else _ENCODE[obj]}
+    if isinstance(obj, dict):
+        if NONFINITE_KEY in obj:
+            raise ValueError(
+                f"payload uses the reserved key {NONFINITE_KEY!r}"
+            )
+        encoded = {key: _encode_nonfinite(value) for key, value in obj.items()}
+        return obj if all(encoded[k] is obj[k] for k in obj) else encoded
+    if isinstance(obj, (list, tuple)):
+        encoded_items = [_encode_nonfinite(value) for value in obj]
+        if isinstance(obj, list) and all(
+            new is old for new, old in zip(encoded_items, obj)
+        ):
+            return obj
+        return encoded_items
+    return obj
+
+
+def _decode_hook(obj: dict[str, Any]) -> Any:
+    """``json.loads`` object hook undoing :func:`_encode_nonfinite`."""
+    if len(obj) == 1 and NONFINITE_KEY in obj:
+        try:
+            return _DECODE[obj[NONFINITE_KEY]]
+        except (KeyError, TypeError):
+            return obj
+    return obj
+
+
+def canonical_dumps(obj: Any, **kwargs: Any) -> str:
+    """Serialise with the sentinel encoding (strict about raw inf/nan)."""
+    return json.dumps(_encode_nonfinite(obj), allow_nan=False, **kwargs)
+
+
+def canonical_loads(text: str) -> Any:
+    """Deserialise, turning sentinel objects back into floats."""
+    return json.loads(text, object_hook=_decode_hook)
 
 
 def canonical_payload(payload: Any) -> Any:
@@ -42,8 +113,9 @@ def canonical_payload(payload: Any) -> Any:
     Applied to freshly computed payloads too, so aggregation cannot
     distinguish a computed chunk from a resumed one (tuple vs list,
     int-keyed dicts, numpy scalars that slipped through, ...).
+    Non-finite floats survive the trip via the sentinel encoding.
     """
-    return json.loads(json.dumps(payload, allow_nan=False))
+    return canonical_loads(canonical_dumps(payload))
 
 
 class ResultStore:
@@ -89,7 +161,7 @@ class ResultStore:
                 if not line:
                     continue
                 try:
-                    record = json.loads(line)
+                    record = canonical_loads(line)
                     key = self.record_key(record)
                 except (json.JSONDecodeError, KeyError, TypeError, ValueError):
                     continue
@@ -144,7 +216,7 @@ class ResultStore:
         if self.path.parent and not self.path.parent.exists():
             self.path.parent.mkdir(parents=True, exist_ok=True)
         self.repair_tail()
-        line = json.dumps(record, sort_keys=True, allow_nan=False)
+        line = canonical_dumps(record, sort_keys=True)
         with self.path.open("a", encoding="utf-8") as fh:
             fh.write(line + "\n")
             fh.flush()

@@ -1,0 +1,51 @@
+"""Equilibrium-as-a-service — the async query layer over the batch engine.
+
+The batch engine (PRs 1-4) runs offline campaigns; this package serves
+*online* single-game queries at inference-server shape:
+
+* :mod:`repro.service.query`   — request validation, reduced-form
+  digests, and the batched solver seam (`solve_requests`): mixed-shape
+  request lists become per-shape :class:`GameBatch` stacks and one
+  kernel pass answers each stack;
+* :mod:`repro.service.cache`   — content-addressed LRU of completed
+  responses (repeat traffic is O(hash));
+* :mod:`repro.service.batcher` — dynamic batching: concurrent requests
+  coalesce into a window that flushes on ``max_batch`` or
+  ``max_delay_ms``, whichever first, with in-flight digest ride-along;
+* :mod:`repro.service.server`  — the JSON-lines asyncio TCP server
+  (``repro-experiments serve``);
+* :mod:`repro.service.client`  — a pipelining asyncio client;
+* :mod:`repro.service.smoke`   — the CI smoke driver (burst, cache-hit
+  gate, clean shutdown).
+
+Every response is bit-identical to the direct ``B = 1`` single-game
+APIs for the same game — the batched kernels' parity contract extended
+to the wire (``tests/test_service.py`` pins it differentially, cache
+hits and mixed-shape concurrent loads included).
+"""
+
+from repro.service.batcher import DynamicBatcher
+from repro.service.cache import ResultCache
+from repro.service.client import ServiceClient
+from repro.service.query import (
+    MAX_SERVICE_PROFILES,
+    EquilibriumRequest,
+    RequestError,
+    game_digest,
+    solve_batch,
+    solve_requests,
+)
+from repro.service.server import EquilibriumServer
+
+__all__ = [
+    "MAX_SERVICE_PROFILES",
+    "DynamicBatcher",
+    "EquilibriumRequest",
+    "EquilibriumServer",
+    "RequestError",
+    "ResultCache",
+    "ServiceClient",
+    "game_digest",
+    "solve_batch",
+    "solve_requests",
+]

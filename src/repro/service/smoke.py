@@ -1,0 +1,130 @@
+"""CI smoke driver: burst a running service, gate on cache hits.
+
+``python -m repro.service.smoke --port P`` connects to an already
+running :class:`~repro.service.server.EquilibriumServer`, pipelines a
+concurrent burst of solve queries in which every game appears twice
+(so the content-addressed cache *must* hit), then verifies:
+
+* every response is well-formed and the duplicate answers are
+  identical objects field for field;
+* the server's cache-hit counter is positive and at least one batch
+  coalesced more than one game;
+* ``--shutdown`` (the CI default) stops the server cleanly so the
+  supervising shell can ``wait`` on its exit code.
+
+Exit status 0 means the service round trip, the dynamic batcher and
+the cache all did their jobs; any assertion failure is a non-zero exit
+for CI to trip on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Sequence
+
+from repro.batch.container import GameBatch
+from repro.service.client import ServiceClient
+from repro.util.rng import stable_seed
+
+__all__ = ["main"]
+
+
+def _burst_queries(games: int) -> list[dict]:
+    """*games* distinct small games across a few shapes."""
+    shapes = [(3, 3), (4, 3), (3, 4)]
+    queries: list[dict] = []
+    for index in range(games):
+        n, m = shapes[index % len(shapes)]
+        seed = stable_seed("service-smoke", n, m, index)
+        batch = GameBatch.from_seeds([seed], n, m)
+        queries.append(
+            {
+                "weights": batch.weights[0].tolist(),
+                "capacities": batch.capacities[0].tolist(),
+            }
+        )
+    return queries
+
+
+async def _run(host: str, port: int, games: int, shutdown: bool) -> int:
+    client = await ServiceClient.connect(host, port)
+    try:
+        if not await client.ping():
+            print("smoke: server did not answer ping", file=sys.stderr)
+            return 1
+        # Wave 1: a pipelined concurrent burst — exercises the dynamic
+        # batcher. Wave 2: the same queries again after wave 1 fully
+        # completed — every answer must now come from the cache.
+        queries = _burst_queries(games)
+        results = await client.solve_many(queries)
+        repeated = await client.solve_many(queries)
+        for first, second in zip(results, repeated):
+            if first != second:
+                print("smoke: repeated query answers differ", file=sys.stderr)
+                return 1
+        digests = {result["digest"] for result in results}
+        if len(digests) != len(queries):
+            print(
+                f"smoke: expected {len(queries)} distinct digests, "
+                f"got {len(digests)}",
+                file=sys.stderr,
+            )
+            return 1
+        stats = await client.stats()
+        cache_hits = stats["cache"]["hits"]
+        if cache_hits < len(queries):
+            print(
+                f"smoke: expected >= {len(queries)} cache hits, "
+                f"got {cache_hits}",
+                file=sys.stderr,
+            )
+            return 1
+        if stats["batched_games"] <= stats["batches"]:
+            print(
+                "smoke: no batch coalesced more than one game "
+                f"({stats['batched_games']} games in {stats['batches']} "
+                "batches)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"smoke ok: {len(results) + len(repeated)} responses, "
+            f"{stats['batches']} batches ({stats['batched_games']} games), "
+            f"{cache_hits} cache hits, {stats['coalesced']} coalesced"
+        )
+        if shutdown:
+            await client.shutdown()
+        return 0
+    finally:
+        await client.close()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.smoke",
+        description="fire a concurrent burst at a running equilibrium "
+        "service and gate on its batching/cache counters",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--games",
+        type=int,
+        default=24,
+        help="distinct games in the burst (each is queried twice)",
+    )
+    parser.add_argument(
+        "--no-shutdown",
+        action="store_true",
+        help="leave the server running after the burst",
+    )
+    args = parser.parse_args(argv)
+    return asyncio.run(
+        _run(args.host, args.port, args.games, not args.no_shutdown)
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

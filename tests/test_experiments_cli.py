@@ -149,6 +149,15 @@ class TestCli:
             main(["run", "E8", "--quick", "--resume"])
         assert "--resume requires --store" in capsys.readouterr().err
 
+    def test_report_resume_requires_store(self, capsys, tmp_path):
+        # The same guard must cover the report subcommand — a silently
+        # ignored --resume would quietly re-run every experiment.
+        with pytest.raises(SystemExit):
+            main([
+                "report", "-o", str(tmp_path / "out.md"), "--quick", "--resume",
+            ])
+        assert "--resume requires --store" in capsys.readouterr().err
+
     def test_run_with_store_and_resume(self, tmp_path, capsys):
         store = tmp_path / "store.jsonl"
         assert main(["run", "E8", "--quick", "--store", str(store)]) == 0

@@ -10,13 +10,20 @@ combination.
 from __future__ import annotations
 
 import json
+import math
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.generators.suites import GridCell
-from repro.runtime import ResultStore, SweepSpec, run_sweep
+from repro.runtime import (
+    ResultStore,
+    SweepSpec,
+    canonical_dumps,
+    canonical_payload,
+    run_sweep,
+)
 from repro.util.parallel import ReplicationChunk
 
 
@@ -169,6 +176,85 @@ class TestScheduler:
 
 def _tuple_kernel(chunk: ReplicationChunk) -> tuple:
     return (chunk.num_users, tuple(range(chunk.rep_lo, chunk.rep_hi)))
+
+
+def _nonfinite_kernel(chunk: ReplicationChunk) -> dict:
+    """A kernel whose payloads contain every non-finite float."""
+    return {
+        "lo": chunk.rep_lo,
+        "worst_ratio": math.inf,
+        "series": [1.5, -math.inf, math.nan],
+    }
+
+
+class TestNonFiniteSentinel:
+    """Satellite fix: non-finite floats must survive the store round
+    trip via the ``__nonfinite__`` sentinel instead of crashing the
+    historical ``allow_nan=False`` encoder mid-campaign."""
+
+    def test_canonical_payload_round_trips_nonfinite(self):
+        payload = {"a": math.inf, "b": [-math.inf, 1.5], "c": math.nan}
+        out = canonical_payload(payload)
+        assert out["a"] == math.inf
+        assert out["b"] == [-math.inf, 1.5]
+        assert math.isnan(out["c"])
+
+    def test_encoded_line_is_strict_json(self):
+        """The wire form parses under strict JSON (no bare Infinity)."""
+        line = canonical_dumps({"x": math.inf, "y": [math.nan]})
+        assert json.loads(line) == {
+            "x": {"__nonfinite__": "inf"},
+            "y": [{"__nonfinite__": "nan"}],
+        }
+
+    def test_unknown_sentinel_value_decodes_unchanged(self):
+        """The decode hook only rewrites the three known spellings."""
+        from repro.runtime import canonical_loads
+
+        assert canonical_loads('{"__nonfinite__": 3}') == {"__nonfinite__": 3}
+
+    def test_reserved_key_rejected_before_disk(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        record = {
+            "experiment": "RT", "label": "x", "n": 2, "m": 2,
+            "rep_lo": 0, "rep_hi": 4,
+            "payload": {"__nonfinite__": "not really"},
+        }
+        with pytest.raises(ValueError, match="reserved"):
+            ResultStore(path).append(record)
+        assert not path.exists()
+
+    def test_fresh_store_run_survives_nonfinite_payloads(self, tmp_path):
+        """The historical crash: a degenerate chunk mid-campaign."""
+        spec = SweepSpec("RT", "rt-inf", (GridCell(2, 2, 4),), _nonfinite_kernel)
+        result = run_sweep(spec, batch_size=1, store=tmp_path / "s.jsonl")
+        assert result.computed_chunks == 4
+        for payload in result.chunk_payloads:
+            assert payload["worst_ratio"] == math.inf
+            assert payload["series"][1] == -math.inf
+            assert math.isnan(payload["series"][2])
+
+    def test_resume_preserves_nonfinite_bytes(self, tmp_path):
+        """Fresh and ``--resume`` paths agree byte for byte with
+        non-finite payloads on both sides of the kill point."""
+        spec = SweepSpec("RT", "rt-inf", (GridCell(2, 2, 4),), _nonfinite_kernel)
+        full_path = tmp_path / "full.jsonl"
+        full = run_sweep(spec, batch_size=1, store=full_path)
+        full_bytes = full_path.read_bytes()
+
+        lines = full_bytes.splitlines(keepends=True)
+        killed_path = tmp_path / "killed.jsonl"
+        killed_path.write_bytes(b"".join(lines[:2]))
+        resumed = run_sweep(spec, batch_size=1, store=killed_path, resume=True)
+
+        assert resumed.resumed_chunks == 2
+        assert resumed.computed_chunks == 2
+        assert killed_path.read_bytes() == full_bytes
+        # NaN breaks ``==`` on raw payloads; compare canonical bytes
+        # (sorted keys: resumed payloads come back from sorted lines).
+        assert canonical_dumps(
+            resumed.chunk_payloads, sort_keys=True
+        ) == canonical_dumps(full.chunk_payloads, sort_keys=True)
 
 
 class TestResumeAfterKill:

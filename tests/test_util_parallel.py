@@ -43,6 +43,13 @@ class TestResolveJobs:
     def test_zero_means_all_cpus(self):
         assert resolve_jobs(0) >= 1
 
+    def test_zero_with_undetectable_cpu_count_falls_back_to_one(self, monkeypatch):
+        # os.cpu_count() may return None (the stdlib documents it); the
+        # "all CPUs" spelling must degrade to inline execution, not crash
+        # or build a 0-worker pool.
+        monkeypatch.setattr("repro.util.parallel.os.cpu_count", lambda: None)
+        assert resolve_jobs(0) == 1
+
     def test_none_stays_inline(self):
         assert resolve_jobs(None) == 1
 
