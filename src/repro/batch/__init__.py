@@ -23,9 +23,21 @@ The subsystem behind the library's instance-parallel workloads:
   :mod:`repro.equilibria.nashify`, the evaluators in
   :mod:`repro.equilibria.potential` and the census half of
   :mod:`repro.analysis.cycles` are their ``B = 1`` views;
-* :mod:`repro.batch.generator`   — one-pass vectorised instance drawing.
+* :mod:`repro.batch.generator`   — one-pass vectorised instance drawing;
+* :mod:`repro.batch.backend`     — the pluggable array-namespace seam
+  every kernel above draws its ops from (NumPy reference, Numba JIT,
+  optional GPU stubs).
 """
 
+from repro.batch.backend import (
+    ArrayBackend,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
 from repro.batch.container import GameBatch
 from repro.batch.dynamics import (
     BatchDynamicsResult,
@@ -82,6 +94,13 @@ from repro.batch.poa import (
 )
 
 __all__ = [
+    "ArrayBackend",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "set_backend",
+    "use_backend",
     "GameBatch",
     "BatchDynamicsResult",
     "batch_best_response_dynamics",

@@ -47,6 +47,7 @@ from typing import Literal, Sequence
 
 import numpy as np
 
+from repro.batch.backend import get_backend
 from repro.batch.container import GameBatch
 from repro.batch.dynamics import batch_best_response_dynamics, deviation_slab
 from repro.batch.kernels import _all_assignments, _profile_block
@@ -90,15 +91,30 @@ def _scatter_loads(
     weights: np.ndarray,
     num_links: int,
     initial_traffic: np.ndarray | None = None,
+    *,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Per-link loads for ``(A, n)`` assignments, user-by-user.
 
     Accumulation order matches :func:`numpy.bincount` with weights (the
     single-game ``loads_of``), which is the bit-parity contract every
-    kernel in this module rests on.
+    kernel in this module rests on. Steppers that rebuild loads every
+    iteration pass a preallocated ``(A, num_links)`` buffer via *out* to
+    skip the per-step allocation.
     """
+    xp = get_backend()
+    if xp.scatter_loads is not None:
+        loads = xp.scatter_loads(sigma, weights, num_links, initial_traffic)
+        if out is not None:
+            out[:] = loads
+            return out
+        return loads
     a, n = sigma.shape
-    loads = np.zeros((a, num_links))
+    if out is not None:
+        loads = out
+        loads[:] = 0.0
+    else:
+        loads = xp.zeros((a, num_links))
     rows = np.arange(a)
     for i in range(n):
         loads[rows, sigma[:, i]] += weights[:, i]
@@ -204,6 +220,7 @@ def batch_nashify_common_beliefs(
     :class:`~repro.errors.ConvergenceError` (same budget semantics as
     the single-game loop).
     """
+    xp = get_backend()
     weights, capacities = batch.weights, batch.capacities
     traffic = batch.initial_traffic
     caps_row = _require_common_beliefs(capacities)
@@ -217,65 +234,83 @@ def batch_nashify_common_beliefs(
     sc2_before = lat0.max(axis=1)
     congestion_before = (loads0 / caps_row).max(axis=1)
 
-    active = np.ones(b, dtype=bool)
-    steps = np.zeros(b, dtype=np.int64)
-    all_rows = np.arange(b)[:, None]
-    user_cols = np.arange(n)[None, :]
-
-    iteration = 0
-    while active.any() and iteration < max_steps:
-        idx = np.flatnonzero(active)
-        sig_a = sigma[idx]
-        w_a = weights[idx]
-        loads = _scatter_loads(sig_a, w_a, m, traffic[idx])
-        dev = deviation_slab(
-            sig_a,
-            w_a,
-            capacities[idx],
-            traffic[idx],
-            all_rows,
-            user_cols,
-            loads=loads,
+    if xp.nashify_common_loop is not None:
+        # Fused backend stepper: per-game sequential loops reproducing
+        # the lockstep trajectory move for move (same defector and
+        # target tie-breaks). May decline (None) for the generic path.
+        fused = xp.nashify_common_loop(
+            sigma, weights, capacities, caps_row, traffic, max_steps
         )
-        a = idx.size
-        rows = np.arange(a)
-        current = dev[rows[:, None], user_cols, sig_a]
-        scale = np.maximum(current, 1.0)
-        improving = dev.min(axis=-1) < current - 1e-9 * scale  # (A, n)
-        has_mover = improving.any(axis=-1)
+    else:
+        fused = None
+    if fused is not None:
+        sigma, steps, converged = fused
+        if not converged.all():
+            raise ConvergenceError(
+                f"nashification exceeded {max_steps} steps for "
+                f"{int((~converged).sum())} of {b} games (n={n})"
+            )
+    else:
+        active = np.ones(b, dtype=bool)
+        steps = np.zeros(b, dtype=np.int64)
+        all_rows = np.arange(b)[:, None]
+        user_cols = np.arange(n)[None, :]
+        loads_buf = np.empty((b, m))
 
-        done = idx[~has_mover]
-        if done.size:
-            active[done] = False
-            if not has_mover.any():
-                iteration += 1
-                continue
-            act = idx[has_mover]
-            improving = improving[has_mover]
-            dev = dev[has_mover]
-            loads = loads[has_mover]
-            sig_a = sig_a[has_mover]
-        else:
-            act = idx
+        iteration = 0
+        while active.any() and iteration < max_steps:
+            idx = xp.flatnonzero(active)
+            a = idx.size
+            sig_a = sigma[idx]
+            w_a = weights[idx]
+            loads = _scatter_loads(sig_a, w_a, m, traffic[idx], out=loads_buf[:a])
+            dev = deviation_slab(
+                sig_a,
+                w_a,
+                capacities[idx],
+                traffic[idx],
+                all_rows,
+                user_cols,
+                loads=loads,
+            )
+            rows = np.arange(a)
+            current = dev[rows[:, None], user_cols, sig_a]
+            scale = xp.maximum(current, 1.0)
+            improving = dev.min(axis=-1) < current - 1e-9 * scale  # (A, n)
+            has_mover = improving.any(axis=-1)
 
-        congestion = loads / caps_row[act]
-        worst = congestion >= congestion.max(axis=1, keepdims=True) * (1 - 1e-12)
-        on_worst = improving & np.take_along_axis(worst, sig_a, axis=1)
-        any_worst = on_worst.any(axis=1)
-        user = np.where(
-            any_worst, np.argmax(on_worst, axis=1), np.argmax(improving, axis=1)
-        )
-        rows = np.arange(act.size)
-        target = np.argmin(dev[rows, user], axis=1)
-        sigma[act, user] = target
-        steps[act] += 1
-        iteration += 1
+            done = idx[~has_mover]
+            if done.size:
+                active[done] = False
+                if not has_mover.any():
+                    iteration += 1
+                    continue
+                act = idx[has_mover]
+                improving = improving[has_mover]
+                dev = dev[has_mover]
+                loads = loads[has_mover]
+                sig_a = sig_a[has_mover]
+            else:
+                act = idx
 
-    if active.any():
-        raise ConvergenceError(
-            f"nashification exceeded {max_steps} steps for "
-            f"{int(active.sum())} of {b} games (n={n})"
-        )
+            congestion = loads / caps_row[act]
+            worst = congestion >= congestion.max(axis=1, keepdims=True) * (1 - 1e-12)
+            on_worst = improving & xp.take_along_axis(worst, sig_a, axis=1)
+            any_worst = on_worst.any(axis=1)
+            user = xp.where(
+                any_worst, xp.argmax(on_worst, axis=1), xp.argmax(improving, axis=1)
+            )
+            rows = np.arange(act.size)
+            target = xp.argmin(dev[rows, user], axis=1)
+            sigma[act, user] = target
+            steps[act] += 1
+            iteration += 1
+
+        if active.any():
+            raise ConvergenceError(
+                f"nashification exceeded {max_steps} steps for "
+                f"{int(active.sum())} of {b} games (n={n})"
+            )
 
     loads1 = _scatter_loads(sigma, weights, m, traffic)
     lat1 = _chosen_latencies(sigma, loads1, capacities)
@@ -631,9 +666,21 @@ def batch_response_cycle_census(
             f"census would peel {b} * {total} = {b * total} nodes at once "
             f"(limit {MAX_CENSUS_NODES}); split the batch"
         )
+    xp = get_backend()
     weights, capacities = batch.weights, batch.capacities
     traffic = batch.initial_traffic
     assignments = _all_assignments(n, m)
+
+    if xp.census_cycle is not None:
+        # Fused backend census: per-game edge extraction + Kahn peel
+        # recomputing edges on the fly instead of materialising the
+        # flattened stack. May decline (None) for the generic path.
+        fused = xp.census_cycle(
+            assignments, weights, capacities, traffic, kind == "best", tol
+        )
+        if fused is not None:
+            return fused
+
     place = np.power(m, np.arange(n - 1, -1, -1)).astype(np.int64)
 
     src_parts: list[np.ndarray] = []
@@ -652,16 +699,16 @@ def batch_response_cycle_census(
         dev = loads[:, :, None, :] + weights[:, None, :, None]
         dev[:, cols[:, None], users[0], sig] -= weights[:, None, :]
         dev /= capacities[:, None, :, :]
-        current = np.take_along_axis(dev, sig[None, :, :, None], axis=3)[..., 0]
-        scale = np.maximum(current, 1.0)
+        current = xp.take_along_axis(dev, sig[None, :, :, None], axis=3)[..., 0]
+        scale = xp.maximum(current, 1.0)
         improving = dev < (current - tol * scale)[..., None]
         if kind == "best":
             best = dev.min(axis=-1)
-            threshold = best + tol * np.maximum(best, 1.0)
+            threshold = best + tol * xp.maximum(best, 1.0)
             targets = improving & (dev <= threshold[..., None])
         else:
             targets = improving
-        gb, ps, us, ls = np.nonzero(targets)
+        gb, ps, us, ls = xp.nonzero(targets)
         if gb.size:
             src = gb * total + (ps + lo)
             dst = src + (ls - sig[ps, us]) * place[us]
@@ -671,19 +718,19 @@ def batch_response_cycle_census(
     remaining = np.full(b, total, dtype=np.int64)
     if not src_parts:
         return np.zeros(b, dtype=bool)
-    src_all = np.concatenate(src_parts)
-    dst_all = np.concatenate(dst_parts)
+    src_all = xp.concatenate(src_parts)
+    dst_all = xp.concatenate(dst_parts)
     num_nodes = b * total
-    indeg = np.bincount(dst_all, minlength=num_nodes)
-    order = np.argsort(src_all, kind="stable")
+    indeg = xp.bincount(dst_all, minlength=num_nodes)
+    order = xp.argsort(src_all, kind="stable")
     dst_sorted = dst_all[order]
-    counts = np.bincount(src_all, minlength=num_nodes)
+    counts = xp.bincount(src_all, minlength=num_nodes)
     indptr = np.zeros(num_nodes + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr[1:])
 
-    frontier = np.flatnonzero(indeg == 0)
+    frontier = xp.flatnonzero(indeg == 0)
     while frontier.size:
-        remaining -= np.bincount(frontier // total, minlength=b)
+        remaining -= xp.bincount(frontier // total, minlength=b)
         starts = indptr[frontier]
         lengths = indptr[frontier + 1] - starts
         total_out = int(lengths.sum())
@@ -698,8 +745,8 @@ def batch_response_cycle_census(
         idx[ends[:-1]] = starts[1:] - (starts[:-1] + lengths[:-1] - 1)
         np.cumsum(idx, out=idx)
         dsts = dst_sorted[idx]
-        indeg -= np.bincount(dsts, minlength=num_nodes)
-        candidates = np.unique(dsts)
+        indeg -= xp.bincount(dsts, minlength=num_nodes)
+        candidates = xp.unique(dsts)
         frontier = candidates[indeg[candidates] == 0]
 
     return remaining > 0

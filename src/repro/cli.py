@@ -14,7 +14,10 @@ Subcommands:
 * ``--seed``             — global seed override threaded through the
   runtime's seed policy (omit for the published baseline streams);
 * ``--store/--resume``   — append-only JSONL result store with
-  chunk-level checkpoint/resume.
+  chunk-level checkpoint/resume;
+* ``--backend``          — array backend for the batch kernels (numpy
+  reference, numba JIT, optional GPU backends; also exported through
+  ``REPRO_BACKEND`` so process-pool workers inherit it).
 
 Output is the same ASCII tables EXPERIMENTS.md records, plus an overall
 verdict; the process exit code is non-zero when any experiment fails,
@@ -70,6 +73,34 @@ def expand_ids(ids: Sequence[str]) -> list[str]:
     return ordered
 
 
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="array backend for the batch kernels (e.g. numpy, numba); "
+             "default: $REPRO_BACKEND or numpy",
+    )
+
+
+def _select_backend(name: str | None, parser: argparse.ArgumentParser) -> None:
+    """Activate ``--backend`` (and propagate it to worker processes)."""
+    if name is None:
+        return
+    import os
+
+    from repro.batch.backend import ENV_VAR, set_backend
+    from repro.errors import BackendError
+
+    try:
+        set_backend(name)
+    except BackendError as exc:
+        parser.error(str(exc))
+    # Process-pool campaign workers resolve the backend from the
+    # environment; exporting keeps their choice in lockstep with ours.
+    os.environ[ENV_VAR] = name
+
+
 def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
     """The campaign-runtime flags shared by ``run`` and ``report``."""
     parser.add_argument(
@@ -108,6 +139,7 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="skip chunks already present in --store (requires --store)",
     )
+    _add_backend_flag(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -170,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1024,
         help="content-addressed response cache entries (0 disables)",
     )
+    _add_backend_flag(serve_p)
     return parser
 
 
@@ -243,7 +276,8 @@ def _cmd_serve(
         print(
             f"serving equilibria on {server.host}:{server.port} "
             f"(max_batch={max_batch}, max_delay_ms={max_delay_ms}, "
-            f"cache_size={cache_size})",
+            f"cache_size={cache_size}, "
+            f"backend={server.info()['backend']})",
             flush=True,
         )
         try:
@@ -263,6 +297,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    _select_backend(args.backend, parser)
     if args.command == "serve":
         return _cmd_serve(
             args.host,

@@ -16,6 +16,7 @@ __all__ = [
     "DimensionError",
     "BeliefError",
     "AlgorithmDomainError",
+    "BackendError",
     "SolverError",
     "NoEquilibriumError",
     "NotFullyMixedError",
@@ -45,6 +46,17 @@ class AlgorithmDomainError(ReproError, ValueError):
     Examples: :func:`repro.equilibria.two_links.atwolinks` on a game with
     ``m != 2``; :func:`repro.equilibria.uniform.auniform` on a game whose
     beliefs are not uniform across links.
+    """
+
+
+class BackendError(ReproError, ValueError):
+    """An array backend is unknown, unavailable, or mismatched.
+
+    Raised when resolving a backend name that is not registered (the
+    message lists the registered choices), when a registered backend's
+    optional dependency is missing (e.g. ``numba`` without the
+    ``repro[jit]`` extra), and when a campaign resume targets a result
+    store produced under a different backend.
     """
 
 

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Union
 
+from repro.batch.backend import get_backend
+from repro.errors import BackendError
 from repro.runtime.spec import SweepSpec
 from repro.runtime.store import ResultStore, canonical_payload
 from repro.util.parallel import ReplicationChunk, iter_tasks
@@ -58,6 +60,7 @@ def _chunk_record(
         "m": chunk.num_links,
         "rep_lo": chunk.rep_lo,
         "rep_hi": chunk.rep_hi,
+        "backend": get_backend().name,
         "payload": payload,
     }
 
@@ -104,7 +107,8 @@ def run_sweep(
         if store is None:
             raise ValueError("resume=True requires a result store")
         store.repair_tail()
-        stored = store.load_payloads()
+        stored = store.load_records()
+        backend_name = get_backend().name
         for i, chunk in enumerate(chunks):
             key = (
                 spec.experiment,
@@ -115,7 +119,21 @@ def run_sweep(
                 chunk.rep_hi,
             )
             if key in stored:
-                payloads[i] = stored[key]
+                record = stored[key]
+                # Pre-backend stores carry no provenance field and are
+                # accepted (they were all NumPy); a recorded mismatch is
+                # refused — mixing backends would break the resumed
+                # store's byte-identity guarantee.
+                stored_backend = record.get("backend")
+                if stored_backend is not None and stored_backend != backend_name:
+                    raise BackendError(
+                        f"cannot resume from {store.path}: chunk "
+                        f"{key} was computed under backend "
+                        f"{stored_backend!r}, but this run uses "
+                        f"{backend_name!r}; rerun with --backend "
+                        f"{stored_backend} or start a fresh store"
+                    )
+                payloads[i] = record["payload"]
                 done[i] = True
                 resumed += 1
 

@@ -144,17 +144,19 @@ class ResultStore:
             int(record["rep_hi"]),
         )
 
-    def load_payloads(self) -> dict[StoreKey, Any]:
-        """All stored payloads keyed by chunk; later lines win.
+    def load_records(self) -> dict[StoreKey, dict[str, Any]]:
+        """All stored chunk records keyed by chunk; later lines win.
 
         Missing file means an empty store (a fresh ``--resume`` run is
         just a fresh run). Truncated trailing lines — the signature of a
         kill mid-write — are ignored, so a damaged tail never blocks a
-        resume; the chunk is simply recomputed and re-appended.
+        resume; the chunk is simply recomputed and re-appended. Records
+        carry the payload plus provenance fields (e.g. the ``backend``
+        that computed the chunk, absent in pre-backend stores).
         """
-        payloads: dict[StoreKey, Any] = {}
+        records: dict[StoreKey, dict[str, Any]] = {}
         if not self.path.exists():
-            return payloads
+            return records
         with self.path.open("r", encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
@@ -165,8 +167,15 @@ class ResultStore:
                     key = self.record_key(record)
                 except (json.JSONDecodeError, KeyError, TypeError, ValueError):
                     continue
-                payloads[key] = record["payload"]
-        return payloads
+                records[key] = record
+        return records
+
+    def load_payloads(self) -> dict[StoreKey, Any]:
+        """All stored payloads keyed by chunk (see :meth:`load_records`)."""
+        return {
+            key: record["payload"]
+            for key, record in self.load_records().items()
+        }
 
     def repair_tail(self) -> None:
         """Heal a kill-truncated final line.

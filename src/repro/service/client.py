@@ -105,6 +105,12 @@ class ServiceClient:
             raise RuntimeError(response.get("error", "service error"))
         return response["stats"]
 
+    async def info(self) -> dict[str, Any]:
+        response = await self.request({"op": "info"})
+        if not response.get("ok"):
+            raise RuntimeError(response.get("error", "service error"))
+        return response["info"]
+
     async def ping(self) -> bool:
         return bool((await self.request({"op": "ping"})).get("pong"))
 

@@ -16,6 +16,8 @@ requests per connection and match the (possibly reordered) responses:
   answer (see :mod:`repro.service.query` for request spellings and the
   response schema);
 * ``{"op": "stats"}`` → batcher/cache counters;
+* ``{"op": "info"}`` → deployment facts: the array backend solving the
+  queries and which backends this host could offer;
 * ``{"op": "ping"}`` → liveness;
 * ``{"op": "shutdown"}`` → acknowledges, then gracefully stops the
   server (drains in-flight batches first).
@@ -33,6 +35,7 @@ import asyncio
 import json
 from typing import Any
 
+from repro.batch.backend import available_backends, get_backend
 from repro.runtime.store import canonical_dumps, canonical_loads
 from repro.service.batcher import DynamicBatcher, Solver
 from repro.service.cache import ResultCache
@@ -102,7 +105,18 @@ class EquilibriumServer:
         await self.batcher.close()
 
     def stats(self) -> dict[str, Any]:
-        return {"connections": self.connections, **self.batcher.stats()}
+        return {
+            "connections": self.connections,
+            "backend": get_backend().name,
+            **self.batcher.stats(),
+        }
+
+    def info(self) -> dict[str, Any]:
+        """Deployment facts: which backend answers, what the host offers."""
+        return {
+            "backend": get_backend().name,
+            "backends": available_backends(),
+        }
 
     # ------------------------------------------------------------------ #
     # protocol
@@ -175,6 +189,8 @@ class EquilibriumServer:
             return {**envelope, "ok": True, "result": result}
         if op == "stats":
             return {**envelope, "ok": True, "stats": self.stats()}
+        if op == "info":
+            return {**envelope, "ok": True, "info": self.info()}
         if op == "ping":
             return {**envelope, "ok": True, "pong": True}
         if op == "shutdown":

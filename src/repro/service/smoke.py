@@ -89,10 +89,12 @@ async def _run(host: str, port: int, games: int, shutdown: bool) -> int:
                 file=sys.stderr,
             )
             return 1
+        info = await client.info()
         print(
             f"smoke ok: {len(results) + len(repeated)} responses, "
             f"{stats['batches']} batches ({stats['batched_games']} games), "
-            f"{cache_hits} cache hits, {stats['coalesced']} coalesced"
+            f"{cache_hits} cache hits, {stats['coalesced']} coalesced, "
+            f"backend {info['backend']}"
         )
         if shutdown:
             await client.shutdown()
