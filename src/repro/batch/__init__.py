@@ -17,6 +17,10 @@ The subsystem behind the library's instance-parallel workloads:
 * :mod:`repro.batch.support`     — stacked ``(B, k, k)`` support
   enumeration; :mod:`repro.equilibria.support_enum` is its ``B = 1``
   view;
+* :mod:`repro.batch.fixpoint`    — the iterative smoothed best-response
+  / proportional-fitting mixed-equilibrium solver for widths beyond
+  enumeration, certified per game by the mixed-Nash oracle;
+  :mod:`repro.equilibria.fixpoint` is its ``B = 1`` view;
 * :mod:`repro.batch.pure`        — lockstep nashification, batched
   potential evaluators / four-cycle gaps, the PNE/response-cycle
   census and the lockstep Section 3 solvers;
@@ -60,6 +64,11 @@ from repro.batch.mixed import (
     batch_min_expected_latencies,
     batch_mixed_latency_matrix,
     normalize_rows,
+)
+from repro.batch.fixpoint import (
+    CERT_TOL,
+    BatchFixpointResult,
+    batch_fixpoint_mixed_nash,
 )
 from repro.batch.support import (
     MAX_SUPPORT_PROFILES,
@@ -112,6 +121,9 @@ __all__ = [
     "batch_loads",
     "batch_pure_latencies",
     "batch_pure_nash_mask",
+    "CERT_TOL",
+    "BatchFixpointResult",
+    "batch_fixpoint_mixed_nash",
     "BatchFullyMixedResult",
     "batch_fully_mixed_candidate",
     "batch_is_mixed_nash",

@@ -283,6 +283,105 @@ def _dynamics(
 
 
 @njit(cache=True, parallel=True)
+def _fixpoint(
+    weights,
+    capacities,
+    traffic,
+    tol,
+    eta,
+    log2_beta_max,
+    max_rounds,
+    stall_rounds,
+    stall_rtol,
+):
+    b, n, m = capacities.shape
+    p = np.full((b, n, m), 1.0 / m)
+    rounds = np.zeros(b, dtype=np.int64)
+    residuals = np.full(b, np.inf)
+    converged = np.zeros(b, dtype=np.bool_)
+    stalled = np.zeros(b, dtype=np.bool_)
+    for g in prange(b):
+        w_link = np.empty(m)
+        lat = np.empty(m)
+        grow = np.empty(m)
+        best = np.inf
+        since = 0
+        log2beta = 0
+        for k in range(max_rounds + 1):
+            # Rebuild link traffic, users in index order (the parity
+            # contract shared with the generic round loop).
+            for link in range(m):
+                w_link[link] = 0.0
+            for i in range(n):
+                wi = weights[g, i]
+                for link in range(m):
+                    w_link[link] = w_link[link] + p[g, i, link] * wi
+            r = 0.0
+            for i in range(n):
+                wi = weights[g, i]
+                mn = np.inf
+                for link in range(m):
+                    tw = traffic[g, link] + w_link[link]
+                    val = ((1.0 - p[g, i, link]) * wi + tw) / capacities[
+                        g, i, link
+                    ]
+                    lat[link] = val
+                    if val < mn:
+                        mn = val
+                scale = mn if mn > 1.0 else 1.0
+                for link in range(m):
+                    if p[g, i, link] > 1e-12:
+                        excess = (lat[link] - mn) / scale
+                        if excess > r:
+                            r = excess
+            residuals[g] = r
+            if r <= tol:
+                converged[g] = True
+                break
+            if r < best * (1.0 - stall_rtol):
+                best = r
+                since = 0
+            else:
+                since += 1
+            if since >= stall_rounds:
+                stalled[g] = True
+                break
+            if k == max_rounds:
+                break
+            for u in range(n):
+                wu = weights[g, u]
+                mn = np.inf
+                for link in range(m):
+                    tw = traffic[g, link] + w_link[link]
+                    val = ((1.0 - p[g, u, link]) * wu + tw) / capacities[
+                        g, u, link
+                    ]
+                    lat[link] = val
+                    if val < mn:
+                        mn = val
+                s = 0.0
+                for link in range(m):
+                    q = mn / lat[link]
+                    for _ in range(log2beta):
+                        q = q * q
+                    gl = p[g, u, link] * q
+                    grow[link] = gl
+                    if link == 0:
+                        s = gl
+                    else:
+                        s = s + gl
+                for link in range(m):
+                    old = p[g, u, link]
+                    updated = (1.0 - eta) * old + eta * (grow[link] / s)
+                    w_link[link] = w_link[link] + (updated - old) * wu
+                    p[g, u, link] = updated
+            rounds[g] += 1
+            if log2beta < log2_beta_max:
+                log2beta += 1
+    return p, rounds, residuals, converged, stalled
+
+
+@njit(cache=True, parallel=True)
 def _census_cycle(assignments, weights, capacities, traffic, place, best, tol):
     b = weights.shape[0]
     p_total, n = assignments.shape
@@ -478,6 +577,30 @@ class NumbaBackend(ArrayBackend):
             cap,
         )
         return out.astype(np.intp, copy=False), converged, steps, cycled
+
+    def fixpoint_loop(
+        self,
+        weights,
+        capacities,
+        traffic,
+        tol,
+        eta,
+        log2_beta_max,
+        max_rounds,
+        stall_rounds,
+        stall_rtol,
+    ):
+        return _fixpoint(
+            _c_f64(weights),
+            _c_f64(capacities),
+            _c_f64(traffic),
+            float(tol),
+            float(eta),
+            int(log2_beta_max),
+            int(max_rounds),
+            int(stall_rounds),
+            float(stall_rtol),
+        )
 
     def census_cycle(self, assignments, weights, capacities, traffic, best, tol):
         n = assignments.shape[1]

@@ -121,6 +121,7 @@ FUSED_HOOKS = (
     "nashify_common_loop",
     "dynamics_loop",
     "census_cycle",
+    "fixpoint_loop",
 )
 
 #: Backends whose availability is always reported (even before their
@@ -166,6 +167,15 @@ class ArrayBackend:
     tol)``
         ``(B,)`` bool response-cycle verdicts over the full ``m^n``
         state space; edge sets must match the sequential graphs.
+    ``fixpoint_loop(weights, capacities, traffic, tol, eta,
+    log2_beta_max, max_rounds, stall_rounds, stall_rtol)``
+        The mixed-equilibrium smoothed best-response round loop of
+        :func:`repro.batch.fixpoint.batch_fixpoint_mixed_nash`:
+        returns ``(probabilities, rounds, residuals, converged,
+        stalled)`` or ``None`` to decline. Per-game trajectories must
+        reproduce the generic round loop *bit for bit* at every round
+        budget (the update is elementwise IEEE arithmetic plus
+        index-order accumulations by design).
     """
 
     #: hooks — ``None`` selects the generic composed kernel.
@@ -175,6 +185,7 @@ class ArrayBackend:
     nashify_common_loop: Callable[..., Any] | None = None
     dynamics_loop: Callable[..., Any] | None = None
     census_cycle: Callable[..., Any] | None = None
+    fixpoint_loop: Callable[..., Any] | None = None
 
     def __init__(self, module: Any = np, name: str = "numpy") -> None:
         self.module = module

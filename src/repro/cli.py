@@ -202,6 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1024,
         help="content-addressed response cache entries (0 disables)",
     )
+    serve_p.add_argument(
+        "--fixpoint-max-rounds",
+        type=_positive_int,
+        default=None,
+        help="round budget for the iterative 'fixpoint' op "
+             "(default: the solver's own budget)",
+    )
     _add_backend_flag(serve_p)
     return parser
 
@@ -257,11 +264,20 @@ def _cmd_report(
 
 
 def _cmd_serve(
-    host: str, port: int, max_batch: int, max_delay_ms: float, cache_size: int
+    host: str,
+    port: int,
+    max_batch: int,
+    max_delay_ms: float,
+    cache_size: int,
+    fixpoint_max_rounds: int | None,
 ) -> int:
     import asyncio
 
+    from repro.batch.fixpoint import DEFAULT_MAX_ROUNDS
     from repro.service.server import EquilibriumServer
+
+    if fixpoint_max_rounds is None:
+        fixpoint_max_rounds = DEFAULT_MAX_ROUNDS
 
     async def run() -> int:
         server = EquilibriumServer(
@@ -270,6 +286,7 @@ def _cmd_serve(
             max_batch=max_batch,
             max_delay_ms=max_delay_ms,
             cache_size=cache_size,
+            fixpoint_max_rounds=fixpoint_max_rounds,
         )
         await server.start()
         # The readiness line supervisors (and the CI smoke job) wait on.
@@ -277,6 +294,7 @@ def _cmd_serve(
             f"serving equilibria on {server.host}:{server.port} "
             f"(max_batch={max_batch}, max_delay_ms={max_delay_ms}, "
             f"cache_size={cache_size}, "
+            f"fixpoint_max_rounds={fixpoint_max_rounds}, "
             f"backend={server.info()['backend']})",
             flush=True,
         )
@@ -305,6 +323,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.max_batch,
             args.max_delay_ms,
             args.cache_size,
+            args.fixpoint_max_rounds,
         )
     if args.resume and not args.store:
         parser.error("--resume requires --store")

@@ -46,6 +46,7 @@ from repro.equilibria.potential import (
     ordinal_potential_symmetric,
     weighted_potential_common_beliefs,
 )
+from repro.equilibria.fixpoint import FixpointSolution, fixpoint_mixed_nash
 from repro.equilibria.solve import solve_pure_nash
 from repro.equilibria.structure import EquilibriumSet, equilibrium_set
 from repro.equilibria.support_enum import enumerate_mixed_nash
@@ -90,6 +91,8 @@ __all__ = [
     "weighted_potential_common_beliefs",
     "solve_pure_nash",
     "enumerate_mixed_nash",
+    "FixpointSolution",
+    "fixpoint_mixed_nash",
     "asymmetric",
     "atwolinks",
     "tolerances",

@@ -15,6 +15,7 @@ from repro.experiments.anarchy import (
 )
 from repro.experiments.base import ExperimentResult
 from repro.experiments.campaign import e5_specs, e6_specs, run_e5, run_e6
+from repro.experiments.fixpoint_tier import e13_specs, run_e13
 from repro.experiments.mixed import (
     e7_specs, e8_specs, e9_specs,
     run_e7, run_e8, run_e9,
@@ -79,6 +80,11 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
     ),
     "E12": ExperimentEntry(
         "[17] contrast — Milchtaich separation", run_e12, e12_specs
+    ),
+    "E13": ExperimentEntry(
+        "Fixed-point tier — certified NE beyond enumeration",
+        run_e13,
+        e13_specs,
     ),
 }
 

@@ -4,9 +4,11 @@ The batch engine (PRs 1-4) runs offline campaigns; this package serves
 *online* single-game queries at inference-server shape:
 
 * :mod:`repro.service.query`   — request validation, reduced-form
-  digests, and the batched solver seam (`solve_requests`): mixed-shape
-  request lists become per-shape :class:`GameBatch` stacks and one
-  kernel pass answers each stack;
+  digests, and the batched solver seams: mixed-shape request lists
+  become per-shape :class:`GameBatch` stacks and one kernel pass
+  answers each stack — `solve_requests` for the exhaustive census,
+  `solve_fixpoint_requests` for the iterative fixed-point solver at
+  beyond-enumeration widths (the ``fixpoint`` op);
 * :mod:`repro.service.cache`   — content-addressed LRU of completed
   responses (repeat traffic is O(hash));
 * :mod:`repro.service.batcher` — dynamic batching: concurrent requests
@@ -33,6 +35,8 @@ from repro.service.query import (
     RequestError,
     game_digest,
     solve_batch,
+    solve_fixpoint_batch,
+    solve_fixpoint_requests,
     solve_requests,
 )
 from repro.service.server import EquilibriumServer
@@ -47,5 +51,7 @@ __all__ = [
     "ServiceClient",
     "game_digest",
     "solve_batch",
+    "solve_fixpoint_batch",
+    "solve_fixpoint_requests",
     "solve_requests",
 ]

@@ -26,9 +26,16 @@ queries costs one kernel invocation, not ``B``. Every response is
 bit-identical to what the direct ``B = 1`` APIs (`repro.equilibria`,
 `repro.analysis.poa`, `repro.model.social`) return for the same game —
 the batch kernels' parity contract, pinned by ``tests/test_service.py``.
-Keeping the seam a plain callable is deliberate: a future iterative
-fixed-point solver (the Eckstein & Lakhal style fitting iteration on
-the ROADMAP) drops in behind the same signature.
+
+:func:`solve_fixpoint_requests` is the second solver seam behind the
+same callable signature: the iterative fixed-point mixed-equilibrium
+solver (:func:`repro.batch.fixpoint.batch_fixpoint_mixed_nash`) for
+games past the exhaustive census width. A fixpoint query skips the
+``MAX_SERVICE_PROFILES`` guard — beyond-enumeration width is its whole
+point — and its response carries the solve's provenance (converged /
+stalled / certified / rounds / residual) instead of the census; the
+profile is returned only when the iteration converged, so every
+answer is either oracle-certified or explicitly flagged.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 
 from repro.batch.container import GameBatch
+from repro.batch.fixpoint import DEFAULT_MAX_ROUNDS, batch_fixpoint_mixed_nash
 from repro.batch.mixed import batch_fully_mixed_candidate
 from repro.batch.poa import (
     batch_empirical_ratios,
@@ -56,6 +64,8 @@ __all__ = [
     "RequestError",
     "game_digest",
     "solve_batch",
+    "solve_fixpoint_batch",
+    "solve_fixpoint_requests",
     "solve_requests",
 ]
 
@@ -134,8 +144,15 @@ class EquilibriumRequest:
         weights: np.ndarray,
         capacities: np.ndarray,
         initial_traffic: np.ndarray | None = None,
+        *,
+        check_width: bool = True,
     ) -> "EquilibriumRequest":
-        """Validate a reduced form (via the ``GameBatch`` invariants)."""
+        """Validate a reduced form (via the ``GameBatch`` invariants).
+
+        ``check_width=False`` skips the ``MAX_SERVICE_PROFILES`` census
+        guard — the fixpoint op's spelling, whose solver never
+        enumerates pure profiles.
+        """
         w = np.asarray(weights, dtype=np.float64)
         caps = np.asarray(capacities, dtype=np.float64)
         if caps.ndim != 2:
@@ -152,7 +169,7 @@ class EquilibriumRequest:
         except (IndexError, ValueError) as exc:  # Model/DimensionError too
             raise RequestError(str(exc)) from exc
         n, m = batch.num_users, batch.num_links
-        if m**n > MAX_SERVICE_PROFILES:
+        if check_width and m**n > MAX_SERVICE_PROFILES:
             raise RequestError(
                 f"game has {m}^{n} = {m**n} pure profiles; the service "
                 f"serves exhaustively-checkable games "
@@ -167,7 +184,12 @@ class EquilibriumRequest:
         )
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "EquilibriumRequest":
+    def from_payload(
+        cls,
+        payload: Mapping[str, Any],
+        *,
+        check_width: bool = True,
+    ) -> "EquilibriumRequest":
         """Parse a wire-format query.
 
         Exactly one capacity spelling is required:
@@ -234,7 +256,9 @@ class EquilibriumRequest:
             if "initial_traffic" in payload
             else None
         )
-        return cls.from_arrays(weights, capacities, initial_traffic)
+        return cls.from_arrays(
+            weights, capacities, initial_traffic, check_width=check_width
+        )
 
 
 def _nashify_records(batch: GameBatch) -> list[dict[str, Any] | None]:
@@ -364,6 +388,74 @@ def solve_requests(
     for batch, indices in GameBatch.from_requests(requests):
         responses = solve_batch(
             batch, digests=[requests[i].digest for i in indices]
+        )
+        for index, response in zip(indices, responses):
+            out[index] = response
+    return out  # type: ignore[return-value]
+
+
+def solve_fixpoint_batch(
+    batch: GameBatch,
+    digests: Sequence[str] | None = None,
+    *,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> list[dict[str, Any]]:
+    """Answer one same-shape stack of fixpoint queries with one solve.
+
+    Per game: the solve's provenance (``converged`` / ``stalled`` /
+    ``certified`` / ``rounds`` / ``residual``) plus the equilibrium
+    ``probabilities`` — ``None`` when the iteration did not converge,
+    so a client can always tell a certified profile from a flagged
+    failure. Responses are JSON-canonical (cache-indistinguishable
+    from replays), and each game's answer is bit-identical to its
+    ``B = 1`` solve — trajectories ignore batch-mates.
+    """
+    if digests is None:
+        digests = [
+            game_digest(
+                batch.weights[i], batch.capacities[i], batch.initial_traffic[i]
+            )
+            for i in range(len(batch))
+        ]
+    result = batch_fixpoint_mixed_nash(
+        batch.weights,
+        batch.capacities,
+        batch.initial_traffic,
+        max_rounds=max_rounds,
+    )
+    responses = []
+    for b in range(len(batch)):
+        converged = bool(result.converged[b])
+        response = {
+            "digest": digests[b],
+            "num_users": batch.num_users,
+            "num_links": batch.num_links,
+            "converged": converged,
+            "stalled": bool(result.stalled[b]),
+            "certified": bool(result.certified[b]),
+            "rounds": int(result.rounds[b]),
+            "residual": float(result.residuals[b]),
+            "probabilities": (
+                result.probabilities[b].tolist() if converged else None
+            ),
+        }
+        responses.append(canonical_payload(response))
+    return responses
+
+
+def solve_fixpoint_requests(
+    requests: Sequence[EquilibriumRequest],
+    *,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> list[dict[str, Any]]:
+    """The fixpoint op's solver seam — same shape as
+    :func:`solve_requests`, so the same dynamic batcher drives it."""
+    out: list[dict[str, Any] | None] = [None] * len(requests)
+    for batch, indices in GameBatch.from_requests(requests):
+        responses = solve_fixpoint_batch(
+            batch,
+            digests=[requests[i].digest for i in indices],
+            max_rounds=max_rounds,
         )
         for index, response in zip(indices, responses):
             out[index] = response

@@ -15,6 +15,11 @@ requests per connection and match the (possibly reordered) responses:
   → ``{"id": 7, "ok": true, "result": {...}}`` — the full equilibrium
   answer (see :mod:`repro.service.query` for request spellings and the
   response schema);
+* ``{"op": "fixpoint", ...}`` — same request spellings, answered by the
+  iterative fixed-point solver instead of the exhaustive census, so
+  games past the ``MAX_SERVICE_PROFILES`` width are accepted; the
+  result carries the certified profile or an explicit
+  non-convergence flag;
 * ``{"op": "stats"}`` → batcher/cache counters;
 * ``{"op": "info"}`` → deployment facts: the array backend solving the
   queries and which backends this host could offer;
@@ -32,14 +37,21 @@ connection.
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 from typing import Any
 
 from repro.batch.backend import available_backends, get_backend
+from repro.batch.fixpoint import DEFAULT_MAX_ROUNDS
 from repro.runtime.store import canonical_dumps, canonical_loads
 from repro.service.batcher import DynamicBatcher, Solver
 from repro.service.cache import ResultCache
-from repro.service.query import EquilibriumRequest, RequestError, solve_requests
+from repro.service.query import (
+    EquilibriumRequest,
+    RequestError,
+    solve_fixpoint_requests,
+    solve_requests,
+)
 
 __all__ = ["EquilibriumServer"]
 
@@ -56,6 +68,8 @@ class EquilibriumServer:
         max_delay_ms: float = 2.0,
         cache_size: int = 1024,
         solver: Solver = solve_requests,
+        fixpoint_solver: Solver | None = None,
+        fixpoint_max_rounds: int = DEFAULT_MAX_ROUNDS,
     ) -> None:
         self.host = host
         self.port = port
@@ -65,6 +79,21 @@ class EquilibriumServer:
             max_batch=max_batch,
             max_delay_ms=max_delay_ms,
             cache=self.cache,
+        )
+        # The fixpoint op gets its own batcher and cache: both ops key
+        # responses by the same reduced-form digest, so sharing a cache
+        # would hand a census answer to a fixpoint query (and vice
+        # versa) whenever the same game hits both ops.
+        if fixpoint_solver is None:
+            fixpoint_solver = functools.partial(
+                solve_fixpoint_requests, max_rounds=fixpoint_max_rounds
+            )
+        self.fixpoint_cache = ResultCache(cache_size)
+        self.fixpoint_batcher = DynamicBatcher(
+            fixpoint_solver,
+            max_batch=max_batch,
+            max_delay_ms=max_delay_ms,
+            cache=self.fixpoint_cache,
         )
         self._server: asyncio.base_events.Server | None = None
         self._shutdown = asyncio.Event()
@@ -103,12 +132,14 @@ class EquilibriumServer:
                 *tuple(self._handlers), return_exceptions=True
             )
         await self.batcher.close()
+        await self.fixpoint_batcher.close()
 
     def stats(self) -> dict[str, Any]:
         return {
             "connections": self.connections,
             "backend": get_backend().name,
             **self.batcher.stats(),
+            "fixpoint": self.fixpoint_batcher.stats(),
         }
 
     def info(self) -> dict[str, Any]:
@@ -174,10 +205,13 @@ class EquilibriumServer:
         if "id" in message:
             envelope["id"] = message["id"]
         op = message.get("op", "solve")
-        if op == "solve":
+        if op in ("solve", "fixpoint"):
+            batcher = self.batcher if op == "solve" else self.fixpoint_batcher
             try:
-                request = EquilibriumRequest.from_payload(message)
-                result = await self.batcher.submit(request)
+                request = EquilibriumRequest.from_payload(
+                    message, check_width=op == "solve"
+                )
+                result = await batcher.submit(request)
             except RequestError as exc:
                 return {**envelope, "ok": False, "error": str(exc)}
             except Exception as exc:  # noqa: BLE001 - solver failure

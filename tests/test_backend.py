@@ -41,6 +41,7 @@ from repro.batch.backend import (
 )
 from repro.batch.container import GameBatch
 from repro.batch.dynamics import batch_best_response_dynamics
+from repro.batch.fixpoint import batch_fixpoint_mixed_nash
 from repro.batch.kernels import (
     batch_count_pure_nash,
     batch_exists_pure_nash,
@@ -375,6 +376,7 @@ class TestNumbaDifferential:
             "nashify_common_loop",
             "dynamics_loop",
             "census_cycle",
+            "fixpoint_loop",
         ):
             assert callable(getattr(backend, hook))
 
@@ -434,6 +436,67 @@ class TestNumbaDifferential:
             np.testing.assert_array_equal(jit_k.converged, ref_k.converged)
             np.testing.assert_array_equal(jit_k.steps, ref_k.steps)
             np.testing.assert_array_equal(jit_k.cycled, ref_k.cycled)
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_games())
+    def test_fixpoint_traces_agree_state_for_state(self, shape):
+        """Fixed-point solver: the fused hook replays the generic
+        trajectory bit for bit.
+
+        ``max_rounds=k`` truncates the iteration after ``k`` rounds, so
+        equality of the full result tuple at every budget pins each
+        intermediate probability tensor, residual and mask — not just
+        the converged endpoint."""
+        b, n, m, seed = shape
+        batch = GameBatch.from_seeds(
+            [seed + i for i in range(b)], n, m, with_initial_traffic=True
+        )
+
+        def solve(budget):
+            return batch_fixpoint_mixed_nash(
+                batch.weights,
+                batch.capacities,
+                batch.initial_traffic,
+                max_rounds=budget,
+            )
+
+        for budget in (0, 1, 2, 7, 40, 4000):
+            reference = solve(budget)
+            with use_backend("numba"):
+                jit = solve(budget)
+            np.testing.assert_array_equal(
+                jit.probabilities, reference.probabilities
+            )
+            np.testing.assert_array_equal(jit.rounds, reference.rounds)
+            np.testing.assert_array_equal(jit.residuals, reference.residuals)
+            np.testing.assert_array_equal(jit.converged, reference.converged)
+            np.testing.assert_array_equal(jit.stalled, reference.stalled)
+            np.testing.assert_array_equal(jit.certified, reference.certified)
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_games())
+    def test_fixpoint_stall_path_agrees(self, shape):
+        """The stall detector's bookkeeping (best/since counters) must
+        match across backends too — a tight window forces it to fire."""
+        b, n, m, seed = shape
+        batch = GameBatch.from_seeds([seed + i for i in range(b)], n, m)
+
+        def solve():
+            return batch_fixpoint_mixed_nash(
+                batch.weights,
+                batch.capacities,
+                batch.initial_traffic,
+                stall_rounds=5,
+            )
+
+        reference = solve()
+        with use_backend("numba"):
+            jit = solve()
+        np.testing.assert_array_equal(jit.stalled, reference.stalled)
+        np.testing.assert_array_equal(jit.rounds, reference.rounds)
+        np.testing.assert_array_equal(
+            jit.probabilities, reference.probabilities
+        )
 
     @settings(max_examples=15, deadline=None)
     @given(small_games())

@@ -18,8 +18,8 @@ from repro.util.tables import Table
 
 
 class TestRegistry:
-    def test_all_twelve_registered(self):
-        assert list(EXPERIMENTS) == [f"E{i}" for i in range(1, 13)]
+    def test_all_thirteen_registered(self):
+        assert list(EXPERIMENTS) == [f"E{i}" for i in range(1, 14)]
 
     def test_get_experiment_case_insensitive(self):
         assert get_experiment("e5") is EXPERIMENTS["E5"][1]
@@ -110,7 +110,7 @@ class TestCli:
     def test_list_command(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        assert "E1" in out and "E12" in out
+        assert "E1" in out and "E13" in out
 
     def test_run_command_quick(self, capsys):
         assert main(["run", "E8", "--quick"]) == 0
@@ -125,7 +125,7 @@ class TestCli:
     def test_expand_ids_dedupes_preserving_order(self):
         assert expand_ids(["E5", "E5", "e5"]) == ["E5"]
         assert expand_ids(["E5", "E5", "all"]) == (
-            ["E5"] + [f"E{i}" for i in range(1, 13) if i != 5]
+            ["E5"] + [f"E{i}" for i in range(1, 14) if i != 5]
         )
         assert expand_ids(["e8", "E2", "e8"]) == ["E8", "E2"]
 

@@ -23,7 +23,7 @@ class TestReportRoundTrip:
         for experiment_id in EXPERIMENTS:
             assert f"## {experiment_id} — " in text, experiment_id
             assert f"| {experiment_id} |" in text  # summary table row
-        assert "**Overall verdict:** ALL PASS (12/12 experiments)." in text
+        assert "**Overall verdict:** ALL PASS (13/13 experiments)." in text
         assert "(quick mode)" in text
         stdout = capsys.readouterr().out
         assert "all passed" in stdout
