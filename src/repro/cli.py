@@ -6,6 +6,10 @@ Subcommands:
 * ``run E5 [E7 ...]``    — run experiments by id (``all`` for everything;
   duplicates are collapsed, first occurrence wins);
 * ``report``             — run experiments and write EXPERIMENTS.md;
+* ``merge``              — combine shard stores into one canonical
+  store (see ``docs/STORE_FORMAT.md``);
+* ``digest``             — print a store's canonical-record digest,
+  the store-level identity check sharding is gated on;
 * ``serve``              — the equilibrium query service (JSON lines
   over TCP, dynamic batching, content-addressed cache; see
   :mod:`repro.service`);
@@ -15,6 +19,11 @@ Subcommands:
   runtime's seed policy (omit for the published baseline streams);
 * ``--store/--resume``   — append-only JSONL result store with
   chunk-level checkpoint/resume;
+* ``--shard k/K``        — execute only shard ``k`` of ``K`` (requires
+  ``--store``; writes ``<stem>.shard-k<suffix>``): the scale-out path —
+  run the K shards on any hosts in any order, ``merge`` their stores,
+  then replay verdicts from the merged store with ``run/report
+  --store ... --resume``;
 * ``--backend``          — array backend for the batch kernels (numpy
   reference, numba JIT, optional GPU backends; also exported through
   ``REPRO_BACKEND`` so process-pool workers inherit it).
@@ -48,6 +57,15 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _shard_plan(text: str):
+    from repro.runtime import ShardPlan
+
+    try:
+        return ShardPlan.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
 
 
 def expand_ids(ids: Sequence[str]) -> list[str]:
@@ -101,8 +119,15 @@ def _select_backend(name: str | None, parser: argparse.ArgumentParser) -> None:
     os.environ[ENV_VAR] = name
 
 
-def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
-    """The campaign-runtime flags shared by ``run`` and ``report``."""
+def _add_runtime_flags(
+    parser: argparse.ArgumentParser, *, shard: bool = False
+) -> None:
+    """The campaign-runtime flags shared by ``run`` and ``report``.
+
+    ``--shard`` is run-only: a shard computes a store, not a verdict
+    (verdicts need every cell's payloads — replay them from the merged
+    store with ``run``/``report`` ``--store ... --resume``).
+    """
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -139,6 +164,17 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="skip chunks already present in --store (requires --store)",
     )
+    if shard:
+        parser.add_argument(
+            "--shard",
+            type=_shard_plan,
+            default=None,
+            metavar="k/K",
+            help="execute only shard k of K (round-robin over canonical "
+                 "chunk order; requires --store and writes to "
+                 "<stem>.shard-k<suffix> next to it); combine completed "
+                 "shards with the merge subcommand",
+        )
     _add_backend_flag(parser)
 
 
@@ -158,9 +194,56 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "ids",
         nargs="+",
-        help="experiment ids (E1..E12) or 'all'; duplicates collapse",
+        help="experiment ids (E1..E13) or 'all'; duplicates collapse",
     )
-    _add_runtime_flags(run_p)
+    _add_runtime_flags(run_p, shard=True)
+
+    merge_p = sub.add_parser(
+        "merge",
+        help="merge shard stores into one canonical store",
+        description=(
+            "Combine the shard stores of a sharded campaign "
+            "(<stem>.shard-<k><suffix>, as written by run --shard) into "
+            "one canonical store, in any shard completion order. "
+            "Duplicate chunks with canonically equal records collapse; "
+            "disagreeing records abort the merge. Prints the merged "
+            "store's canonical-record digest — compare it against the "
+            "single-host store's (see the digest subcommand)."
+        ),
+    )
+    merge_p.add_argument(
+        "--store",
+        required=True,
+        metavar="PATH",
+        help="the merged store to write; shard files are discovered "
+             "next to it by name unless --shards is given",
+    )
+    merge_p.add_argument(
+        "--shards",
+        nargs="+",
+        default=None,
+        metavar="PATH",
+        help="explicit shard store files, in shard-index order "
+             "(default: discover <stem>.shard-<k><suffix> siblings)",
+    )
+    merge_p.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing non-empty destination store",
+    )
+
+    digest_p = sub.add_parser(
+        "digest",
+        help="print a store's canonical-record digest",
+        description=(
+            "Print the SHA-256 canonical-record digest of a result "
+            "store: the order-independent, store-level identity check "
+            "(docs/STORE_FORMAT.md). Two stores hold the same campaign "
+            "results iff their digests match, regardless of sharding, "
+            "resume history, or the order records landed on disk."
+        ),
+    )
+    digest_p.add_argument("store", metavar="PATH", help="result store path")
 
     report_p = sub.add_parser(
         "report", help="run all experiments and write EXPERIMENTS.md"
@@ -227,6 +310,80 @@ def _cmd_list() -> int:
     width = max(len(k) for k in EXPERIMENTS)
     for key, entry in EXPERIMENTS.items():
         print(f"{key.ljust(width)}  {entry.title}")
+    return 0
+
+
+def _cmd_run_shard(ids: Sequence[str], quick: bool, shard, **options) -> int:
+    """Execute one shard of a campaign: specs in, a shard store out.
+
+    A shard owns a round-robin slice of every requested spec's chunk
+    list and checkpoints it into ``<stem>.shard-k<suffix>``; it cannot
+    evaluate experiment verdicts (those need every cell's payloads), so
+    the output is chunk accounting, not PASS/FAIL lines. Combine the
+    completed shards with ``merge`` and replay verdicts from the merged
+    store via ``run``/``report`` ``--store ... --resume``.
+    """
+    from repro.experiments.registry import get_experiment_specs
+    from repro.runtime import run_sweep, shard_store_path
+
+    store = options.pop("store")
+    path = shard_store_path(store, shard.index)
+    computed = resumed = owned = 0
+    for experiment_id in expand_ids(ids):
+        for spec in get_experiment_specs(experiment_id, quick=quick):
+            result = run_sweep(spec, store=path, shard=shard, **options)
+            owned += len(result.chunk_payloads)
+            computed += result.computed_chunks
+            resumed += result.resumed_chunks
+            print(
+                f"[{experiment_id}] {spec.label}: shard {shard} owns "
+                f"{len(result.chunk_payloads)} chunk(s) "
+                f"({result.computed_chunks} computed, "
+                f"{result.resumed_chunks} resumed)"
+            )
+    print(
+        f"shard {shard} complete: {owned} chunk(s) "
+        f"({computed} computed, {resumed} resumed) -> {path}"
+    )
+    print(
+        f"next: run the other shards, then "
+        f"`repro-experiments merge --store {store}`"
+    )
+    return 0
+
+
+def _cmd_merge(store: str, shards: Sequence[str] | None, force: bool) -> int:
+    from repro.errors import StoreMergeError
+    from repro.runtime import discover_shard_stores, merge_shard_stores
+
+    sources = (
+        list(shards) if shards is not None else discover_shard_stores(store)
+    )
+    if not sources:
+        print(
+            f"no shard stores found next to {store} "
+            f"(expected <stem>.shard-<k><suffix> siblings)",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        result = merge_shard_stores(sources, store, force=force)
+    except StoreMergeError as exc:
+        print(f"merge failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"merged {result.shards} shard store(s) -> {result.path} "
+        f"({result.records} record(s), "
+        f"{result.duplicates} duplicate(s) collapsed)"
+    )
+    print(f"canonical digest: {result.digest}")
+    return 0
+
+
+def _cmd_digest(store: str) -> int:
+    from repro.runtime import ResultStore
+
+    print(ResultStore(store).canonical_digest())
     return 0
 
 
@@ -315,6 +472,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "merge":
+        return _cmd_merge(args.store, args.shards, args.force)
+    if args.command == "digest":
+        return _cmd_digest(args.store)
     _select_backend(args.backend, parser)
     if args.command == "serve":
         return _cmd_serve(
@@ -328,6 +489,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.resume and not args.store:
         parser.error("--resume requires --store")
     if args.command == "run":
+        if args.shard is not None:
+            if not args.store:
+                parser.error("--shard requires --store")
+            return _cmd_run_shard(
+                args.ids,
+                args.quick,
+                args.shard,
+                jobs=args.jobs,
+                batch_size=args.batch_size,
+                seed=args.seed,
+                store=args.store,
+                resume=args.resume,
+            )
         return _cmd_run(args.ids, args.quick, **_runtime_options(args))
     if args.command == "report":
         return _cmd_report(

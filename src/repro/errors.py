@@ -17,6 +17,7 @@ __all__ = [
     "BeliefError",
     "AlgorithmDomainError",
     "BackendError",
+    "StoreMergeError",
     "SolverError",
     "NoEquilibriumError",
     "NotFullyMixedError",
@@ -57,6 +58,16 @@ class BackendError(ReproError, ValueError):
     optional dependency is missing (e.g. ``numba`` without the
     ``repro[jit]`` extra), and when a campaign resume targets a result
     store produced under a different backend.
+    """
+
+
+class StoreMergeError(ReproError, ValueError):
+    """Merging shard result stores failed.
+
+    Raised when two shards disagree about the same chunk key (their
+    canonical records differ — see ``docs/STORE_FORMAT.md`` for the
+    conflict rules), when there is nothing to merge, or when the merge
+    destination would be overwritten without ``force``.
     """
 
 

@@ -2,12 +2,16 @@
 
 :func:`run_sweep` is the single execution path behind every experiment
 campaign (E1-E12). It expands a :class:`~repro.runtime.spec.SweepSpec`
-into replication chunks, skips the chunks a result store already holds
-(``resume=True``), fans the rest out over
-:func:`repro.util.parallel.iter_tasks` (inline or process pool), and
-checkpoints each payload to the store the moment it arrives — in
-canonical chunk order, so an interrupted store is always a resumable
-prefix and a resumed store is byte-identical to an uninterrupted one.
+into replication chunks, restricts them to one shard of a
+:class:`~repro.runtime.spec.ShardPlan` when asked (``shard=``), skips
+the chunks a result store already holds (``resume=True``), fans the
+rest out over :func:`repro.util.parallel.iter_tasks` (inline or process
+pool), and checkpoints each payload to the store the moment it arrives
+— in canonical chunk order, so an interrupted store is always a
+resumable prefix and a resumed store is byte-identical to an
+uninterrupted one. Sharded runs inherit every one of those guarantees
+per shard file; shard stores are recombined by
+:func:`repro.runtime.store.merge_shard_stores`.
 
 Determinism contract: for fixed spec and ``seed``, the aggregated
 payloads are identical for every ``jobs``/``batch_size=None``/``store``/
@@ -24,7 +28,7 @@ from typing import Any, Union
 
 from repro.batch.backend import get_backend
 from repro.errors import BackendError
-from repro.runtime.spec import SweepSpec
+from repro.runtime.spec import ShardPlan, SweepSpec
 from repro.runtime.store import ResultStore, canonical_payload
 from repro.util.parallel import ReplicationChunk, iter_tasks
 
@@ -40,6 +44,7 @@ class SweepResult:
     cell_of_chunk: list[int] = field(default_factory=list)
     computed_chunks: int = 0
     resumed_chunks: int = 0
+    shard: ShardPlan | None = None
 
     @property
     def payloads_by_cell(self) -> list[list[Any]]:
@@ -73,6 +78,7 @@ def run_sweep(
     seed: int | None = None,
     store: Union[ResultStore, str, Path, None] = None,
     resume: bool = False,
+    shard: ShardPlan | None = None,
 ) -> SweepResult:
     """Execute *spec* and return its per-chunk payloads.
 
@@ -95,10 +101,22 @@ def run_sweep(
     resume:
         Skip chunks whose keys the store already holds, aggregating
         their stored payloads instead of recomputing.
+    shard:
+        Execute only the chunks this :class:`ShardPlan` owns
+        (round-robin over canonical chunk order). Each shard of a
+        campaign should write to its own store file
+        (:func:`~repro.runtime.store.shard_store_path`); the shard
+        stores merge back into the single-host store via
+        :func:`~repro.runtime.store.merge_shard_stores`. Every
+        per-shard guarantee is the single-host one: checkpoints land in
+        the shard's canonical chunk order and a killed shard resumes to
+        a byte-identical shard store.
     """
     store = ResultStore.coerce(store)
     label = spec.seeded_label(seed)
-    chunks, cell_of_chunk = spec.chunks(batch_size=batch_size, seed=seed)
+    chunks, cell_of_chunk = spec.chunks(
+        batch_size=batch_size, seed=seed, shard=shard
+    )
 
     payloads: list[Any] = [None] * len(chunks)
     done: list[bool] = [False] * len(chunks)
@@ -106,7 +124,6 @@ def run_sweep(
     if resume:
         if store is None:
             raise ValueError("resume=True requires a result store")
-        store.repair_tail()
         stored = store.load_records()
         backend_name = get_backend().name
         for i, chunk in enumerate(chunks):
@@ -152,4 +169,5 @@ def run_sweep(
         cell_of_chunk=list(cell_of_chunk),
         computed_chunks=len(pending),
         resumed_chunks=resumed,
+        shard=shard,
     )

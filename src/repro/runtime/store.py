@@ -1,5 +1,11 @@
 """Append-only JSONL result store with chunk-level checkpoint keys.
 
+The on-disk record format, the canonical-record identity check, and the
+shard/merge rules implemented here are specified (with doctested
+examples) in ``docs/STORE_FORMAT.md`` — the store and the service wire
+protocol (:mod:`repro.service.query`) share the same canonical JSON
+encoding via :func:`canonical_dumps`/:func:`canonical_loads`.
+
 One line per completed chunk:
 
 .. code-block:: json
@@ -37,17 +43,28 @@ rejected before anything touches disk.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
+import os
+import re
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Iterable, Iterator, Sequence, Union
+
+from repro.errors import StoreMergeError
 
 __all__ = [
+    "MergeResult",
     "ResultStore",
     "StoreKey",
     "canonical_dumps",
     "canonical_loads",
     "canonical_payload",
+    "canonical_record_digest",
+    "discover_shard_stores",
+    "merge_shard_stores",
+    "shard_store_path",
 ]
 
 #: (experiment, label, n, m, rep_lo, rep_hi)
@@ -144,19 +161,27 @@ class ResultStore:
             int(record["rep_hi"]),
         )
 
-    def load_records(self) -> dict[StoreKey, dict[str, Any]]:
-        """All stored chunk records keyed by chunk; later lines win.
+    def iter_records(self) -> Iterator[dict[str, Any]]:
+        """Stored chunk records in file order, tail repaired first.
 
-        Missing file means an empty store (a fresh ``--resume`` run is
-        just a fresh run). Truncated trailing lines — the signature of a
-        kill mid-write — are ignored, so a damaged tail never blocks a
-        resume; the chunk is simply recomputed and re-appended. Records
-        carry the payload plus provenance fields (e.g. the ``backend``
-        that computed the chunk, absent in pre-backend stores).
+        The tail repair is what makes *reading* a killed store safe: a
+        kill that lands between the final record and its newline leaves
+        a valid-but-unterminated line, and a kill mid-write leaves a
+        torn fragment — :meth:`repair_tail` heals the former and drops
+        the latter before the file is parsed, so no reader (resume,
+        merge, digest) can silently lose a shard's last record or trip
+        over a fragment. A store that cannot be opened for writing
+        (read-only artifact) is read as-is; the unterminated-tail case
+        still parses, only the on-disk healing is skipped. Other damaged
+        lines are skipped, and duplicate keys are *not* collapsed here —
+        :meth:`load_records` layers last-wins on top.
         """
-        records: dict[StoreKey, dict[str, Any]] = {}
+        try:
+            self.repair_tail()
+        except OSError:
+            pass
         if not self.path.exists():
-            return records
+            return
         with self.path.open("r", encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
@@ -164,11 +189,23 @@ class ResultStore:
                     continue
                 try:
                     record = canonical_loads(line)
-                    key = self.record_key(record)
+                    self.record_key(record)
                 except (json.JSONDecodeError, KeyError, TypeError, ValueError):
                     continue
-                records[key] = record
-        return records
+                yield record
+
+    def load_records(self) -> dict[StoreKey, dict[str, Any]]:
+        """All stored chunk records keyed by chunk; later lines win.
+
+        Missing file means an empty store (a fresh ``--resume`` run is
+        just a fresh run). The tail is repaired before reading (see
+        :meth:`iter_records`), so a killed run's final record is healed
+        rather than silently dropped, and a torn fragment never blocks a
+        resume — the chunk is simply recomputed and re-appended. Records
+        carry the payload plus provenance fields (e.g. the ``backend``
+        that computed the chunk, absent in pre-backend stores).
+        """
+        return {self.record_key(r): r for r in self.iter_records()}
 
     def load_payloads(self) -> dict[StoreKey, Any]:
         """All stored payloads keyed by chunk (see :meth:`load_records`)."""
@@ -230,5 +267,179 @@ class ResultStore:
             fh.write(line + "\n")
             fh.flush()
 
+    def canonical_digest(self) -> str:
+        """The store-level identity check: a digest of its record *set*.
+
+        SHA-256 over :func:`canonical_dumps` of the stored records
+        sorted by :data:`StoreKey` (duplicate keys collapsed last-wins,
+        like :meth:`load_records`). Two stores are *canonically equal*
+        iff their digests match — a deliberately weaker check than
+        file-byte equality: it is independent of the order records
+        landed on disk, so a merged multi-shard store, a resumed store
+        and an uninterrupted single-host store all agree as long as
+        they hold the same records. See ``docs/STORE_FORMAT.md``.
+        """
+        return canonical_record_digest(self.load_records().values())
+
     def __repr__(self) -> str:
         return f"ResultStore({str(self.path)!r})"
+
+
+def canonical_record_digest(records: Iterable[dict[str, Any]]) -> str:
+    """SHA-256 hex digest of the canonical serialisation of *records*.
+
+    Records are sorted by their :data:`StoreKey` and serialised with
+    :func:`canonical_dumps` (sorted keys, ``repr``-shortest floats, the
+    non-finite sentinel), one per line — the same bytes
+    :meth:`ResultStore.append` writes — so the digest of a complete
+    sharded campaign equals the digest of the single-host store.
+    Provenance fields (e.g. ``backend``) participate: stores computed
+    under different backends are not canonically equal even when their
+    payloads agree, mirroring the resume path's refusal to mix backends.
+    """
+    ordered = sorted(records, key=ResultStore.record_key)
+    blob = "\n".join(canonical_dumps(r, sort_keys=True) for r in ordered)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def shard_store_path(base: Union[str, Path], index: int) -> Path:
+    """The shard store file for shard *index* of the campaign at *base*.
+
+    ``store.jsonl`` -> ``store.shard-0.jsonl``: the shard index is
+    spliced in front of the final suffix so sibling shards of one
+    campaign sort together and are discoverable by name.
+    """
+    base = Path(base)
+    if index < 0:
+        raise ValueError(f"shard index must be >= 0, got {index}")
+    return base.with_name(f"{base.stem}.shard-{index}{base.suffix}")
+
+
+def discover_shard_stores(base: Union[str, Path]) -> list[ResultStore]:
+    """All shard stores of the campaign at *base*, sorted by shard index.
+
+    Finds the siblings named :func:`shard_store_path` would produce
+    (``<stem>.shard-<k><suffix>``). Missing indices are simply absent —
+    a shard that owned no chunks never creates its file — and the sort
+    is numeric, so ``shard-10`` follows ``shard-2``.
+    """
+    base = Path(base)
+    pattern = re.compile(
+        rf"^{re.escape(base.stem)}\.shard-(\d+){re.escape(base.suffix)}$"
+    )
+    parent = base.parent
+    if not parent.exists():
+        return []
+    found: list[tuple[int, Path]] = []
+    for candidate in parent.iterdir():
+        match = pattern.match(candidate.name)
+        if match:
+            found.append((int(match.group(1)), candidate))
+    return [ResultStore(path) for _, path in sorted(found)]
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """Outcome of one shard merge: where it landed and what it held."""
+
+    path: Path
+    shards: int
+    records: int
+    duplicates: int
+    digest: str
+
+
+def merge_shard_stores(
+    shards: Sequence[Union[ResultStore, str, Path]],
+    dest: Union[ResultStore, str, Path],
+    *,
+    force: bool = False,
+) -> MergeResult:
+    """Merge shard stores into one canonical store at *dest*.
+
+    Records are interleaved round-robin across the shards in the given
+    order, one record per shard per round — the inverse of
+    :class:`~repro.runtime.spec.ShardPlan`'s round-robin chunk
+    ownership, so merging a complete single-spec campaign's shards (in
+    shard-index order) reproduces the single-host store byte for byte.
+    Shards may land in any completion order, hold any subset of the
+    campaign (a partially failed shard contributes what it finished),
+    and overlap: a chunk key seen twice with *canonically equal*
+    records (identical ``canonical_dumps``, provenance included) is
+    collapsed onto its first occurrence, while records that disagree
+    raise :class:`~repro.errors.StoreMergeError` — two shards computed
+    different answers for the same chunk, which the deterministic
+    seed policy makes impossible unless flags (seed, batch size,
+    backend) were mixed. Every shard's tail is repaired before reading
+    (see :meth:`ResultStore.iter_records`), so a killed shard's last
+    record is merged, not dropped.
+
+    The merged file is written atomically (temp file + rename); an
+    existing non-empty *dest* is refused unless *force* is set.
+    """
+    shard_stores = [
+        coerced
+        for coerced in (ResultStore.coerce(shard) for shard in shards)
+        if coerced is not None
+    ]
+    if not shard_stores:
+        raise StoreMergeError("no shard stores to merge")
+    dest_store = ResultStore.coerce(dest)
+    assert dest_store is not None
+    for shard in shard_stores:
+        if shard.path.resolve() == dest_store.path.resolve():
+            raise StoreMergeError(
+                f"merge destination {dest_store.path} is itself a shard input"
+            )
+    if (
+        dest_store.path.exists()
+        and dest_store.path.stat().st_size > 0
+        and not force
+    ):
+        raise StoreMergeError(
+            f"merge destination {dest_store.path} already exists and is "
+            f"non-empty; pass force=True (CLI: --force) to overwrite"
+        )
+
+    columns = [list(shard.iter_records()) for shard in shard_stores]
+    lines: list[str] = []
+    seen: dict[StoreKey, tuple[int, str]] = {}
+    duplicates = 0
+    for position in range(max(len(column) for column in columns)):
+        for shard_index, column in enumerate(columns):
+            if position >= len(column):
+                continue
+            record = column[position]
+            key = ResultStore.record_key(record)
+            line = canonical_dumps(record, sort_keys=True)
+            if key in seen:
+                first_shard, first_line = seen[key]
+                if first_line != line:
+                    raise StoreMergeError(
+                        f"shard stores disagree about chunk {key}: "
+                        f"{shard_stores[first_shard].path} and "
+                        f"{shard_stores[shard_index].path} hold different "
+                        f"canonical records (were the shards run with "
+                        f"different --seed/--batch-size/--backend flags?)"
+                    )
+                duplicates += 1
+                continue
+            seen[key] = (shard_index, line)
+            lines.append(line)
+
+    if dest_store.path.parent and not dest_store.path.parent.exists():
+        dest_store.path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = dest_store.path.with_name(dest_store.path.name + ".tmp")
+    with tmp_path.open("w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp_path, dest_store.path)
+    return MergeResult(
+        path=dest_store.path,
+        shards=len(shard_stores),
+        records=len(lines),
+        duplicates=duplicates,
+        digest=dest_store.canonical_digest(),
+    )

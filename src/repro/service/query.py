@@ -36,6 +36,14 @@ point — and its response carries the solve's provenance (converged /
 stalled / certified / rounds / residual) instead of the census; the
 profile is returned only when the iteration converged, so every
 answer is either oracle-certified or explicitly flagged.
+
+Wire format: requests, responses and the content digests the cache is
+keyed on all use the canonical JSON encoding of
+:mod:`repro.runtime.store` (``canonical_dumps``/``canonical_payload``
+— ``repr``-shortest floats, the ``{"__nonfinite__": ...}`` sentinel
+for ``inf``/``nan``), the same encoding campaign result stores are
+written in. The shared format is specified, with doctested examples,
+in ``docs/STORE_FORMAT.md``.
 """
 
 from __future__ import annotations

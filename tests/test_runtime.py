@@ -107,6 +107,54 @@ class TestResultStore:
         assert ResultStore.coerce(str(path)).path == path
 
 
+class TestLoadRepairsTail:
+    """Satellite fix: ``load_records`` repairs the tail before reading,
+    so *every* reader (resume, shard merge, digest) heals a killed
+    store instead of relying on the next append to do it."""
+
+    RECORD = {
+        "experiment": "RT", "label": "x", "n": 2, "m": 2,
+        "rep_lo": 0, "rep_hi": 4, "payload": 1,
+    }
+
+    def test_unterminated_valid_tail_is_kept_and_healed(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.append(self.RECORD)
+        store.append({**self.RECORD, "rep_lo": 4, "rep_hi": 8})
+        healthy = path.read_bytes()
+        path.write_bytes(healthy.rstrip(b"\n"))  # kill between record and \n
+        records = store.load_records()
+        assert len(records) == 2  # the last record is not dropped
+        assert path.read_bytes() == healthy  # and the file is healed
+
+    def test_torn_fragment_is_dropped_and_truncated(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.append(self.RECORD)
+        healthy = path.read_bytes()
+        with path.open("ab") as fh:
+            fh.write(b'{"experiment": "RT", "label"')  # kill mid-write
+        assert len(store.load_records()) == 1
+        assert path.read_bytes() == healthy  # fragment truncated away
+
+    def test_read_only_store_is_still_readable(self, tmp_path, monkeypatch):
+        """A store that cannot be opened for writing (archived artifact)
+        is read as-is; the valid unterminated tail still parses."""
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.append(self.RECORD)
+        damaged = path.read_bytes().rstrip(b"\n")
+        path.write_bytes(damaged)
+
+        def refuse_repair(self):
+            raise PermissionError("read-only filesystem")
+
+        monkeypatch.setattr(ResultStore, "repair_tail", refuse_repair)
+        assert len(store.load_records()) == 1
+        assert path.read_bytes() == damaged  # no healing attempted
+
+
 class TestScheduler:
     def test_jobs_and_batch_size_invariance(self):
         """Per-cell aggregates must not depend on chunking or workers

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the docs resolve.
+
+Scans README.md and every ``docs/*.md`` for inline links
+(``[text](target)``), skips external schemes and pure in-page anchors,
+strips ``#fragment`` suffixes from file targets, and verifies the
+referenced path exists relative to the file containing the link. For a
+``path#anchor`` link into a markdown file, the anchor is also checked
+against the target's headings (GitHub slug rules, simplified). Exits
+non-zero listing every broken link — CI's docs job gates on it.
+
+Usage: ``python tools/check_docs.py`` (from the repository root).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def heading_anchors(markdown: Path) -> set[str]:
+    """GitHub-style slugs for every heading in *markdown*."""
+    anchors: set[str] = set()
+    in_fence = False
+    for line in markdown.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence or not line.startswith("#"):
+            continue
+        title = line.lstrip("#").strip()
+        slug = re.sub(r"[^\w\- ]", "", title.lower()).replace(" ", "-")
+        anchors.add(slug)
+    return anchors
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    for match in LINK.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in heading_anchors(path):
+                problems.append(f"{path}: broken anchor {target!r}")
+            continue
+        file_part, _, fragment = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}: broken link {target!r}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in heading_anchors(resolved):
+                problems.append(
+                    f"{path}: broken anchor {target!r} "
+                    f"(no such heading in {file_part})"
+                )
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    problems: list[str] = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            problems.append(f"missing expected file: {path}")
+            continue
+        checked += 1
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {checked} file(s): "
+          f"{'OK' if not problems else f'{len(problems)} broken link(s)'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
